@@ -1,0 +1,53 @@
+// A4 — distillation-prompt conditioning ablation. The paper's rewrite
+// distribution is ỹ ~ f_θ(y | c, x, y): the teacher sees the reference
+// response. Our default pipeline conditions on (c, x) only (the teacher
+// answers blind and the Extract() rule guarantees answer preservation).
+// This bench compares both variants: acceptance rate and downstream recovery.
+#include "bench_common.hpp"
+
+using namespace sdd;
+using namespace sdd::bench;
+
+int main() {
+  const eval::SuiteSpec spec = standard_spec();
+  const auto& tasks = eval::core_tasks();
+  const std::int64_t block = env_int("SDD_A4_BLOCK", 3);
+  const std::int64_t size = scaled_size(8);
+
+  TablePrinter table{{"teacher conditioning", "acceptance", "avg score",
+                      "recovery"}};
+  for (const bool condition_on_reference : {false, true}) {
+    core::PipelineConfig config = core::PipelineConfig::standard();
+    config.distill.condition_on_reference = condition_on_reference;
+    core::Pipeline pipeline{config};
+
+    const eval::SuiteScores baseline =
+        cached_suite(pipeline, pipeline.base_model(), tasks, spec);
+
+    core::DistillStats stats;
+    pipeline.distilled_dataset("gsm8k", size, &stats);
+    const std::string acceptance =
+        stats.total > 0 ? format_float(stats.acceptance_rate() * 100.0) + "%"
+                        : "(cached)";
+
+    const nn::TransformerLM model =
+        pipeline.recovered(block, core::FtMethod::kSelfDataDistill, "gsm8k", size);
+    const eval::SuiteScores scores = cached_suite(pipeline, model, tasks, spec);
+    table.add_row({condition_on_reference ? "f(y | c, x, y)  [paper form]"
+                                          : "f(y | c, x)     [default]",
+                   acceptance, pct(scores.average),
+                   format_float(eval::recovery_percent(scores, baseline)) + "%"});
+  }
+
+  std::printf("== A4: teacher-prompt conditioning in self-data distillation ==\n\n%s\n",
+              table.to_ascii().c_str());
+  std::printf(
+      "Both variants enforce the conditional-selection rule, so answers are\n"
+      "always preserved. Which prompt wins is scale-dependent: an 8B teacher\n"
+      "understands a rewrite prompt containing the reference (the paper's\n"
+      "form), while a tiny teacher is derailed by the unfamiliar format and\n"
+      "falls back to the raw targets (acceptance collapses, recovery drops\n"
+      "toward plain SFT). Low acceptance == degenerating to SFT is itself a\n"
+      "faithful property of the method.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// A1 — §3 "Effect of Layer Importance Metric": do angular cosine, Block
+// Influence, and relative magnitude pick the same pruning blocks, and does
+// the choice matter downstream?
+//
+// Paper finding: BI and angular cosine produce comparable pruning results;
+// the angular metric is kept for its simplicity.
+#include "bench_common.hpp"
+
+using namespace sdd;
+using namespace sdd::bench;
+
+int main() {
+  core::Pipeline pipeline{core::PipelineConfig::standard()};
+  const nn::TransformerLM& base = pipeline.base_model();
+  const auto& calibration = pipeline.calibration();
+  const eval::SuiteSpec spec = standard_spec();
+  const auto& tasks = eval::core_tasks();
+
+  const core::ImportanceMetric metrics[] = {
+      core::ImportanceMetric::kAngularCosine,
+      core::ImportanceMetric::kBlockInfluence,
+      core::ImportanceMetric::kRelativeMagnitude};
+
+  // 1) Block choice agreement across block sizes.
+  TablePrinter choice{{"block size n", "angular l*", "block_influence l*",
+                       "relative_magnitude l*", "agreement"}};
+  int agree_ab = 0, total = 0;
+  for (const std::int64_t n : {1, 2, 3, 4, 5}) {
+    std::vector<std::int64_t> starts;
+    for (const auto metric : metrics) {
+      starts.push_back(
+          core::compute_block_distances(base, calibration, n, metric).best_start);
+    }
+    const bool all_equal = starts[0] == starts[1] && starts[1] == starts[2];
+    const bool ab_equal = starts[0] == starts[1];
+    agree_ab += ab_equal ? 1 : 0;
+    ++total;
+    choice.add_row({std::to_string(n), std::to_string(starts[0]),
+                    std::to_string(starts[1]), std::to_string(starts[2]),
+                    all_equal ? "all" : (ab_equal ? "angular=BI" : "differ")});
+  }
+  std::printf("== A1: pruning-block choice per importance metric ==\n\n%s\n",
+              choice.to_ascii().c_str());
+  std::printf("angular vs BI agreement: %d/%d block sizes\n\n", agree_ab, total);
+
+  // 2) Downstream accuracy of the one-shot pruned model (No FT) per metric.
+  const eval::SuiteScores baseline = cached_suite(pipeline, base, tasks, spec);
+  TablePrinter downstream{{"metric", "pruned layers (n=3)", "avg score",
+                           "recovery"}};
+  for (const auto metric : metrics) {
+    const core::PruneResult result = core::prune_model(base, calibration, 3, metric);
+    const eval::SuiteScores scores =
+        cached_suite(pipeline, result.model, tasks, spec);
+    downstream.add_row({core::metric_name(metric),
+                        "[" + std::to_string(result.start) + ", " +
+                            std::to_string(result.start + 3) + ")",
+                        pct(scores.average),
+                        format_float(eval::recovery_percent(scores, baseline)) +
+                            "%"});
+  }
+  std::printf("== A1: one-shot pruned (No FT) quality per metric, n=3 ==\n\n%s\n",
+              downstream.to_ascii().c_str());
+  std::printf("Paper shape: metrics select similar blocks; downstream quality is\n"
+              "comparable, so the cheaper angular metric is preferred.\n");
+  return 0;
+}

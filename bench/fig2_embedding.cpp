@@ -1,0 +1,65 @@
+// F2c — Figure 2 right: distribution of sentence-embedding similarities
+// between pruned-model generations and the baseline's generations on µGSM8k,
+// for SFT vs Self-Data FT (paper: block size 6 of 32 ≙ ours 3 of 16,
+// OpenMathInstruct-50k).
+//
+// Paper result: Self-Data FT mean 0.92 with a tight distribution; SFT mean
+// 0.83 with a wide spread — the distribution-shift signature of catastrophic
+// forgetting.
+#include "bench_common.hpp"
+#include "eval/embedding.hpp"
+
+using namespace sdd;
+using namespace sdd::bench;
+
+namespace {
+
+void print_histogram(const char* label, const eval::SimilarityStats& stats) {
+  std::printf("%s: mean=%.3f stddev=%.3f min=%.3f max=%.3f (n=%zu)\n", label,
+              stats.mean, stats.stddev, stats.min, stats.max, stats.values.size());
+  const auto hist = stats.histogram(10);
+  for (std::size_t bin = 0; bin < hist.size(); ++bin) {
+    const double lo = 0.1 * static_cast<double>(bin);
+    const int width = static_cast<int>(hist[bin] * 50 + 0.5);
+    std::printf("  [%.1f,%.1f) %5.1f%% |%s\n", lo, lo + 0.1, hist[bin] * 100.0,
+                std::string(static_cast<std::size_t>(width), '#').c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  core::Pipeline pipeline{core::PipelineConfig::standard()};
+  const std::int64_t block = env_int("SDD_FIG2_BLOCK", 3);  // ≙ paper n=6
+  const std::int64_t size_50k = scaled_size(50);
+  const std::int64_t items = env_int("SDD_FIG2_ITEMS", 80);
+
+  const nn::TransformerLM& baseline = pipeline.base_model();
+  const nn::TransformerLM sft_model =
+      pipeline.recovered(block, core::FtMethod::kSft, "openmathinstruct", size_50k);
+  const nn::TransformerLM sdd_model = pipeline.recovered(
+      block, core::FtMethod::kSelfDataDistill, "openmathinstruct", size_50k);
+
+  const data::GenTask task = data::make_gsm8k_eval_task(items, 515);
+
+  log_info("fig2c: embedding generations (", items, " prompts x 2 models)");
+  const eval::SimilarityStats sft_stats =
+      eval::embedding_shift(sft_model, baseline, baseline, task, items);
+  const eval::SimilarityStats sdd_stats =
+      eval::embedding_shift(sdd_model, baseline, baseline, task, items);
+
+  std::printf("== Figure 2 (right): embedding similarity to baseline generations "
+              "(µGSM8k, block %lld ≙ paper 6) ==\n\n",
+              static_cast<long long>(block));
+  print_histogram("SFT          ", sft_stats);
+  print_histogram("Self-Data FT ", sdd_stats);
+
+  std::printf("Paper shape: Self-Data FT mean (paper 0.92) > SFT mean (paper 0.83) "
+              "with a tighter spread.\n");
+  std::printf("Measured: Self-Data FT mean %.3f (stddev %.3f) vs SFT mean %.3f "
+              "(stddev %.3f) -> %s\n",
+              sdd_stats.mean, sdd_stats.stddev, sft_stats.mean, sft_stats.stddev,
+              sdd_stats.mean > sft_stats.mean ? "shape HOLDS" : "shape DIFFERS");
+  return 0;
+}

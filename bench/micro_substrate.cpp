@@ -1,0 +1,151 @@
+// M1: substrate microbenchmarks (google-benchmark).
+//
+// Measures the raw kernels and model phases that determine the wall-clock of
+// every experiment bench: GEMM, fused attention, full forward/backward
+// training steps, KV-cache decode throughput, and the pruning metric.
+#include <benchmark/benchmark.h>
+
+#include "core/prune.hpp"
+#include "data/corpus.hpp"
+#include "nn/decode.hpp"
+#include "tensor/kernels.hpp"
+#include "tensor/ops.hpp"
+#include "train/trainer.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace sdd;
+
+nn::ModelConfig bench_config() {
+  nn::ModelConfig config;
+  config.vocab_size = data::Vocab::instance().size();
+  config.d_model = 64;
+  config.n_heads = 4;
+  config.n_layers = 16;
+  config.d_ff = 128;
+  config.max_seq_len = 160;
+  return config;
+}
+
+void BM_GemmNt(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng{1};
+  std::vector<float> a(static_cast<std::size_t>(n * n));
+  std::vector<float> b(static_cast<std::size_t>(n * n));
+  std::vector<float> c(static_cast<std::size_t>(n * n));
+  for (auto& x : a) x = rng.gaussian_float(0, 1);
+  for (auto& x : b) x = rng.gaussian_float(0, 1);
+  for (auto _ : state) {
+    kernels::gemm_nt(a.data(), b.data(), c.data(), n, n, n, false);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmNt)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmNn(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng{1};
+  std::vector<float> a(static_cast<std::size_t>(n * n));
+  std::vector<float> b(static_cast<std::size_t>(n * n));
+  std::vector<float> c(static_cast<std::size_t>(n * n));
+  for (auto& x : a) x = rng.gaussian_float(0, 1);
+  for (auto& x : b) x = rng.gaussian_float(0, 1);
+  for (auto _ : state) {
+    kernels::gemm_nn(a.data(), b.data(), c.data(), n, n, n, false);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmNn)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_AttentionForward(benchmark::State& state) {
+  const std::int64_t batch = 8, seq = state.range(0), channels = 64;
+  Rng rng{2};
+  NoGradGuard no_grad;
+  Tensor q = Tensor::randn(rng, {batch, seq, channels}, 1.0F);
+  Tensor k = Tensor::randn(rng, {batch, seq, channels}, 1.0F);
+  Tensor v = Tensor::randn(rng, {batch, seq, channels}, 1.0F);
+  for (auto _ : state) {
+    Tensor out = ops::causal_self_attention(q, k, v, 4, 10000.0F);
+    benchmark::DoNotOptimize(out.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch * seq);
+}
+BENCHMARK(BM_AttentionForward)->Arg(32)->Arg(80);
+
+void BM_ModelForward(benchmark::State& state) {
+  const nn::TransformerLM model{bench_config(), 1};
+  const std::int64_t batch = 8, seq = state.range(0);
+  Rng rng{3};
+  std::vector<std::int32_t> ids(static_cast<std::size_t>(batch * seq));
+  for (auto& id : ids) {
+    id = static_cast<std::int32_t>(rng.uniform_int(0, model.config().vocab_size - 1));
+  }
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    Tensor logits = model.forward(ids, batch, seq);
+    benchmark::DoNotOptimize(logits.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch * seq);
+}
+BENCHMARK(BM_ModelForward)->Arg(48)->Arg(80);
+
+void BM_TrainStep(benchmark::State& state) {
+  nn::TransformerLM model{bench_config(), 1};
+  const std::int64_t batch = 8, seq = state.range(0);
+  Rng rng{4};
+  std::vector<std::int32_t> ids(static_cast<std::size_t>(batch * seq));
+  std::vector<std::int32_t> targets(ids.size());
+  std::vector<float> weights(ids.size(), 1.0F);
+  for (auto& id : ids) {
+    id = static_cast<std::int32_t>(rng.uniform_int(0, model.config().vocab_size - 1));
+  }
+  for (auto& t : targets) {
+    t = static_cast<std::int32_t>(rng.uniform_int(0, model.config().vocab_size - 1));
+  }
+  train::AdamW optimizer{model.trainable_parameters(), {}};
+  for (auto _ : state) {
+    Tensor logits = model.forward(ids, batch, seq);
+    Tensor loss = ops::cross_entropy(logits, targets, weights);
+    optimizer.zero_grad();
+    loss.backward();
+    optimizer.clip_gradients(1.0F);
+    optimizer.step(1e-4F);
+  }
+  state.SetItemsProcessed(state.iterations() * batch * seq);
+}
+BENCHMARK(BM_TrainStep)->Arg(48)->Arg(80)->Unit(benchmark::kMillisecond);
+
+void BM_DecodeTokensPerSecond(benchmark::State& state) {
+  const nn::TransformerLM model{bench_config(), 1};
+  NoGradGuard no_grad;
+  std::int64_t tokens = 0;
+  for (auto _ : state) {
+    auto decode_state = model.make_decode_state();
+    for (std::int64_t t = 0; t < 64; ++t) {
+      auto logits = model.decode_step(decode_state, static_cast<std::int32_t>(t % 50));
+      benchmark::DoNotOptimize(logits.data());
+      ++tokens;
+    }
+  }
+  state.SetItemsProcessed(tokens);
+}
+BENCHMARK(BM_DecodeTokensPerSecond)->Unit(benchmark::kMillisecond);
+
+void BM_PruneMetric(benchmark::State& state) {
+  const nn::TransformerLM model{bench_config(), 1};
+  const data::World world{42};
+  const auto calibration = data::build_calibration_set(world, 4, 64, 99);
+  for (auto _ : state) {
+    const auto curve = core::compute_block_distances(
+        model, calibration, 3, core::ImportanceMetric::kAngularCosine);
+    benchmark::DoNotOptimize(curve.best_start);
+  }
+}
+BENCHMARK(BM_PruneMetric)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

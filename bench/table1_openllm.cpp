@@ -1,0 +1,133 @@
+// T1 — Table 1: OpenLLM-Leaderboard-v1 suite for pruned models across block
+// sizes and fine-tuning strategies.
+//
+// Paper rows: block sizes {4, 6, 8, 10} of 32 layers; methods {No FT, SFT,
+// Self-Data Distillation, Self-Data Distillation + Model Merging}. SFT/SDD
+// fine-tune on OpenMathInstruct-50k; MM merges with the Alpaca-50k SDD model
+// via SLERP(t=0.5). We run the identical grid at half block size on the
+// 16-layer model (same depth fractions) with the scaled 50k ≙ 1600-sample
+// datasets, and additionally report parameter/FLOP savings per block size.
+#include "bench_common.hpp"
+#include "eval/flops.hpp"
+#include "eval/report.hpp"
+
+using namespace sdd;
+using namespace sdd::bench;
+
+namespace {
+
+// Paper Table 1 average recovery (%) for shape comparison.
+struct PaperRow {
+  const char* method;
+  double recovery[4];  // block sizes 4, 6, 8, 10
+};
+constexpr PaperRow kPaperRecovery[] = {
+    {"No FT", {92.31, 74.67, 70.50, 66.83}},
+    {"SFT", {84.52, 81.66, 76.37, 68.56}},
+    {"Self-Data Distillation", {93.29, 91.24, 86.38, 80.56}},
+    {"Self-Data Distillation + MM", {94.86, 93.30, 88.24, 80.70}},
+};
+
+}  // namespace
+
+int main() {
+  core::Pipeline pipeline{core::PipelineConfig::standard()};
+  const eval::SuiteSpec spec = standard_spec();
+  const std::int64_t size_50k = scaled_size(50);
+  const auto& tasks = eval::openllm_v1_tasks();
+
+  const nn::TransformerLM& base = pipeline.base_model();
+  const eval::SuiteScores baseline = cached_suite(pipeline, base, tasks, spec);
+
+  TablePrinter table{{"Prune Block (ours/paper)", "Savings", "Method", "Dataset",
+                      "ARC-C", "HellaSwag", "TruthfulQA", "MMLU", "Winogrande",
+                      "GSM8k", "Avg", "Recovery"}};
+  table.add_row({"baseline", "-", "No FT", "-", pct(baseline.task("arc_c")),
+                 pct(baseline.task("hellaswag")), pct(baseline.task("truthfulqa")),
+                 pct(baseline.task("mmlu")), pct(baseline.task("winogrande")),
+                 pct(baseline.task("gsm8k")), pct(baseline.average), "-"});
+  table.add_separator();
+
+  struct MethodRow {
+    std::string label;
+    std::string dataset_label;
+    std::function<nn::TransformerLM(std::int64_t)> make;
+  };
+  const std::vector<MethodRow> methods{
+      {"No FT", "-",
+       [&](std::int64_t n) {
+         return pipeline.recovered(n, core::FtMethod::kNone, "", 0);
+       }},
+      {"SFT", "openmathinstruct",
+       [&](std::int64_t n) {
+         return pipeline.recovered(n, core::FtMethod::kSft, "openmathinstruct",
+                                   size_50k);
+       }},
+      {"Self-Data Distillation", "openmathinstruct",
+       [&](std::int64_t n) {
+         return pipeline.recovered(n, core::FtMethod::kSelfDataDistill,
+                                   "openmathinstruct", size_50k);
+       }},
+      {"Self-Data Distillation + MM", "openmathinstruct + alpaca",
+       [&](std::int64_t n) {
+         return pipeline.merged(n, "openmathinstruct", size_50k, "alpaca", size_50k);
+       }},
+  };
+
+  // Measured recovery, indexed [method][block] for the paper-shape summary.
+  std::vector<std::vector<double>> measured(methods.size());
+
+  eval::ExperimentReport report{"table1", "OpenLLM-v1 grid with model merging"};
+  report.set_baseline(baseline);
+
+  for (const std::int64_t block : {2, 3, 4, 5}) {  // ≙ paper {4, 6, 8, 10}
+    nn::ModelConfig pruned_config = base.config();
+    pruned_config.n_layers = base.n_layers() - block;
+    const double savings = eval::param_savings(base.config(), pruned_config);
+
+    for (std::size_t m = 0; m < methods.size(); ++m) {
+      log_info("table1: block=", block, " method=", methods[m].label);
+      const nn::TransformerLM model = methods[m].make(block);
+      const eval::SuiteScores scores = cached_suite(pipeline, model, tasks, spec);
+      const double recovery = eval::recovery_percent(scores, baseline);
+      measured[m].push_back(recovery);
+      eval::ReportEntry entry;
+      entry.model_label =
+          "block" + std::to_string(block) + "/" + methods[m].label;
+      entry.method = methods[m].label;
+      entry.prune_block = block;
+      entry.dataset = methods[m].dataset_label;
+      entry.scores = scores;
+      entry.recovery_percent = recovery;
+      report.add(std::move(entry));
+      table.add_row({std::to_string(block) + " / " + paper_block_label(block),
+                     m == 0 ? format_percent(savings) : "",
+                     methods[m].label, methods[m].dataset_label,
+                     pct(scores.task("arc_c")), pct(scores.task("hellaswag")),
+                     pct(scores.task("truthfulqa")), pct(scores.task("mmlu")),
+                     pct(scores.task("winogrande")), pct(scores.task("gsm8k")),
+                     pct(scores.average), format_float(recovery) + "%"});
+    }
+    table.add_separator();
+  }
+
+  const auto report_path = pipeline.cache().directory() / "table1_report.json";
+  report.write(report_path);
+  std::printf("== Table 1: OpenLLM-v1 suite, pruned Llama-style model ==\n\n%s\n",
+              table.to_ascii().c_str());
+  std::printf("(JSON report: %s)\n\n", report_path.c_str());
+
+  TablePrinter shape{{"Method", "n=2 (ours) / paper n=4", "n=3 / 6", "n=4 / 8",
+                      "n=5 / 10"}};
+  for (std::size_t m = 0; m < methods.size(); ++m) {
+    std::vector<std::string> row{methods[m].label};
+    for (std::size_t b = 0; b < 4; ++b) {
+      row.push_back(format_float(measured[m][b]) + "% (paper " +
+                    format_float(kPaperRecovery[m].recovery[b]) + "%)");
+    }
+    shape.add_row(std::move(row));
+  }
+  std::printf("== Avg. recovery, measured vs paper ==\n\n%s\n",
+              shape.to_ascii().c_str());
+  return 0;
+}

@@ -1,0 +1,92 @@
+// T2 — Table 2 (Appendix B): {ARC-C, GSM8k, MMLU} for every combination of
+// prune block size x fine-tuning dataset x {No FT, SFT, Self-Data
+// Distillation}, with recovery % against the unpruned baseline.
+//
+// Paper grid: blocks {2,4,6,8,10} of 32; datasets GSM8k(8k), Dolly(15k),
+// Alpaca(50k), OpenMathInstruct(50k). Ours: blocks {1..5} of 16 with the
+// scaled dataset sizes.
+#include "bench_common.hpp"
+#include "eval/report.hpp"
+
+using namespace sdd;
+using namespace sdd::bench;
+
+int main() {
+  core::Pipeline pipeline{core::PipelineConfig::standard()};
+  const eval::SuiteSpec spec = standard_spec();
+  const auto& tasks = eval::core_tasks();
+
+  struct DatasetSpec {
+    std::string name;
+    std::int64_t size;
+    std::string label;
+  };
+  const std::vector<DatasetSpec> datasets{
+      {"gsm8k", scaled_size(8), "gsm8k (8k)"},
+      {"dolly", scaled_size(15), "dolly (15k)"},
+      {"alpaca", scaled_size(50), "alpaca (50k)"},
+      {"openmathinstruct", scaled_size(50), "openmathinstruct (50k)"},
+  };
+
+  const nn::TransformerLM& base = pipeline.base_model();
+  const eval::SuiteScores baseline = cached_suite(pipeline, base, tasks, spec);
+
+  eval::ExperimentReport report{
+      "table2", "core suite across datasets, blocks, and methods"};
+  report.set_baseline(baseline);
+
+  TablePrinter table{{"Block (ours/paper)", "Method", "Dataset", "ARC-C", "GSM8k",
+                      "MMLU", "Avg", "Recovery"}};
+  table.add_row({"baseline", "No FT", "-", pct(baseline.task("arc_c")),
+                 pct(baseline.task("gsm8k")), pct(baseline.task("mmlu")),
+                 pct(baseline.average), "100.00%"});
+  table.add_separator();
+
+  const auto add_row = [&](std::int64_t block, const std::string& method,
+                           const std::string& dataset_label,
+                           const nn::TransformerLM& model) {
+    const eval::SuiteScores scores = cached_suite(pipeline, model, tasks, spec);
+    const double recovery = eval::recovery_percent(scores, baseline);
+    table.add_row({std::to_string(block) + " / " + paper_block_label(block), method,
+                   dataset_label, pct(scores.task("arc_c")),
+                   pct(scores.task("gsm8k")), pct(scores.task("mmlu")),
+                   pct(scores.average), format_float(recovery) + "%"});
+    eval::ReportEntry entry;
+    entry.model_label = "block" + std::to_string(block) + "/" + method + "/" +
+                        dataset_label;
+    entry.method = method;
+    entry.prune_block = block;
+    entry.dataset = dataset_label;
+    entry.scores = scores;
+    entry.recovery_percent = recovery;
+    report.add(std::move(entry));
+  };
+
+  for (const std::int64_t block : {1, 2, 3, 4, 5}) {  // ≙ paper {2,4,6,8,10}
+    log_info("table2: block=", block, " no-ft");
+    add_row(block, "No FT", "-",
+            pipeline.recovered(block, core::FtMethod::kNone, "", 0));
+    for (const DatasetSpec& dataset : datasets) {
+      log_info("table2: block=", block, " dataset=", dataset.name);
+      add_row(block, "SFT", dataset.label,
+              pipeline.recovered(block, core::FtMethod::kSft, dataset.name,
+                                 dataset.size));
+      add_row(block, "Self-Data Distillation", dataset.label,
+              pipeline.recovered(block, core::FtMethod::kSelfDataDistill,
+                                 dataset.name, dataset.size));
+    }
+    table.add_separator();
+  }
+
+  const auto report_path = pipeline.cache().directory() / "table2_report.json";
+  report.write(report_path);
+  std::printf(
+      "== Table 2: core reasoning suite across datasets and block sizes ==\n\n%s\n",
+      table.to_ascii().c_str());
+  std::printf("(JSON report: %s)\n\n", report_path.c_str());
+  std::printf(
+      "Paper shape to verify: Self-Data Distillation > SFT at every (block, "
+      "dataset); the 50k OpenMathInstruct rows recover the most (95.96%% at paper "
+      "block 6); recovery decreases monotonically with block size.\n");
+  return 0;
+}

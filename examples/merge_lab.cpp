@@ -1,0 +1,54 @@
+// Merge lab: SLERP model merging of two self-data-distilled models (paper §4
+// and Appendix D) with an interpolation-factor sweep and a LERP comparison.
+#include <cstdio>
+
+#include "core/pipeline.hpp"
+#include "eval/suite.hpp"
+#include "util/env.hpp"
+#include "util/table.hpp"
+
+using namespace sdd;
+
+int main() {
+  core::Pipeline pipeline{core::PipelineConfig::standard()};
+
+  const std::int64_t block = env_int("SDD_MERGE_BLOCK", 3);
+  const std::int64_t size_math = env_int("SDD_MERGE_SIZE_MATH", 800);
+  const std::int64_t size_alpaca = env_int("SDD_MERGE_SIZE_ALPACA", 800);
+
+  std::printf("Fine-tuning the two parents (cached if already run)...\n");
+  const nn::TransformerLM math_model = pipeline.recovered(
+      block, core::FtMethod::kSelfDataDistill, "openmathinstruct", size_math);
+  const nn::TransformerLM alpaca_model = pipeline.recovered(
+      block, core::FtMethod::kSelfDataDistill, "alpaca", size_alpaca);
+
+  eval::SuiteSpec spec;
+  spec.mc_items = env_int("SDD_MERGE_ITEMS", 40);
+  spec.gen_items = spec.mc_items;
+
+  const auto baseline = eval::evaluate_suite(pipeline.base_model(), pipeline.world(),
+                                             eval::core_tasks(), spec);
+
+  TablePrinter table{{"model", "t", "avg score", "recovery"}};
+  const auto add = [&](const std::string& name, const nn::TransformerLM& model,
+                       const std::string& t_label) {
+    const auto scores =
+        eval::evaluate_suite(model, pipeline.world(), eval::core_tasks(), spec);
+    table.add_row({name, t_label, format_float(scores.average * 100.0),
+                   format_float(eval::recovery_percent(scores, baseline)) + "%"});
+  };
+
+  add("SDD openmathinstruct", math_model, "-");
+  add("SDD alpaca", alpaca_model, "-");
+  table.add_separator();
+  for (const float t : {0.25F, 0.5F, 0.75F}) {
+    add("SLERP merge", core::merge_models(math_model, alpaca_model, t),
+        format_float(t, 2));
+  }
+  add("LERP merge",
+      core::merge_models(math_model, alpaca_model, 0.5F, core::MergeMode::kLerp),
+      "0.50");
+
+  std::printf("\n%s\n", table.to_ascii().c_str());
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Prune explorer: inspect per-layer importance under all three metrics and
+// the block-distance curves Algorithm 1 minimizes (the data behind Figure 2
+// left/center).
+#include <cstdio>
+
+#include "core/pipeline.hpp"
+#include "util/env.hpp"
+#include "util/table.hpp"
+
+using namespace sdd;
+
+namespace {
+
+std::string bar(double value, double max_value, int width = 28) {
+  const int fill =
+      max_value > 0.0 ? static_cast<int>(value / max_value * width) : 0;
+  std::string s(static_cast<std::size_t>(fill), '#');
+  s.resize(static_cast<std::size_t>(width), ' ');
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  core::Pipeline pipeline{core::PipelineConfig::standard()};
+  const nn::TransformerLM& base = pipeline.base_model();
+  const auto& calibration = pipeline.calibration();
+
+  std::printf("Per-layer importance (lower = more redundant), %lld layers\n\n",
+              static_cast<long long>(base.n_layers()));
+
+  const core::ImportanceMetric metrics[] = {
+      core::ImportanceMetric::kAngularCosine,
+      core::ImportanceMetric::kBlockInfluence,
+      core::ImportanceMetric::kRelativeMagnitude};
+  std::vector<std::vector<double>> curves;
+  for (const auto metric : metrics) {
+    curves.push_back(core::layer_importance(base, calibration, metric));
+  }
+
+  TablePrinter table{{"layer", "angular", "", "block_influence", "rel_magnitude"}};
+  double max_angular = 0.0;
+  for (double d : curves[0]) max_angular = std::max(max_angular, d);
+  for (std::size_t l = 0; l < curves[0].size(); ++l) {
+    table.add_row({std::to_string(l), format_float(curves[0][l], 4),
+                   bar(curves[0][l], max_angular), format_float(curves[1][l], 4),
+                   format_float(curves[2][l], 4)});
+  }
+  std::printf("%s\n", table.to_ascii().c_str());
+
+  std::printf("Algorithm 1 block selection per prune block size:\n\n");
+  TablePrinter blocks{{"block size n", "paper n (32-layer)", "optimal start l*",
+                       "pruned layers", "angular distance"}};
+  for (std::int64_t n = 1; n <= 5; ++n) {
+    const core::PruneResult& result = pipeline.prune(n);
+    blocks.add_row({std::to_string(n), std::to_string(2 * n),
+                    std::to_string(result.start),
+                    "[" + std::to_string(result.start) + ", " +
+                        std::to_string(result.start + n) + ")",
+                    format_float(result.distance, 4)});
+  }
+  std::printf("%s\n", blocks.to_ascii().c_str());
+  return 0;
+}

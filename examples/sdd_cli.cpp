@@ -1,0 +1,228 @@
+// sdd_cli — command-line driver over the public API.
+//
+//   sdd_cli pretrain
+//   sdd_cli prune    --block 3 [--metric angular|bi|relmag] [--out model.bin]
+//   sdd_cli distill  --dataset openmathinstruct --size 800
+//   sdd_cli recover  --block 3 --method sdd --dataset openmathinstruct
+//                    --size 1600 [--out model.bin]
+//   sdd_cli merge    --a a.bin --b b.bin [--t 0.5] [--mode slerp|lerp] --out m.bin
+//   sdd_cli eval     --model model.bin [--suite core|openllm] [--items 60]
+//   sdd_cli generate --model model.bin --prompt "q : what does the cat say ?"
+//   sdd_cli info     --model model.bin
+//
+// Pipeline-backed subcommands (pretrain/prune/distill/recover) share the
+// sdd_cache/ experiment cache with the benches.
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "eval/flops.hpp"
+#include "eval/suite.hpp"
+#include "nn/decode.hpp"
+#include "util/table.hpp"
+
+using namespace sdd;
+
+namespace {
+
+using Args = std::map<std::string, std::string>;
+
+Args parse_args(int argc, char** argv, int first) {
+  Args args;
+  for (int i = first; i + 1 < argc; i += 2) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) {
+      throw std::invalid_argument("expected --flag, got '" + key + "'");
+    }
+    args[key.substr(2)] = argv[i + 1];
+  }
+  return args;
+}
+
+std::string arg_or(const Args& args, const std::string& key,
+                   const std::string& fallback) {
+  const auto it = args.find(key);
+  return it == args.end() ? fallback : it->second;
+}
+
+std::int64_t arg_int(const Args& args, const std::string& key, std::int64_t fallback) {
+  const auto it = args.find(key);
+  return it == args.end() ? fallback : std::stoll(it->second);
+}
+
+core::ImportanceMetric parse_metric(const std::string& name) {
+  if (name == "angular") return core::ImportanceMetric::kAngularCosine;
+  if (name == "bi") return core::ImportanceMetric::kBlockInfluence;
+  if (name == "relmag") return core::ImportanceMetric::kRelativeMagnitude;
+  throw std::invalid_argument("unknown metric '" + name + "'");
+}
+
+core::FtMethod parse_method(const std::string& name) {
+  if (name == "none") return core::FtMethod::kNone;
+  if (name == "sft") return core::FtMethod::kSft;
+  if (name == "sdd") return core::FtMethod::kSelfDataDistill;
+  if (name == "replay") return core::FtMethod::kSftReplay;
+  if (name == "kd") return core::FtMethod::kKd;
+  if (name == "sdd_kd") return core::FtMethod::kSelfDataDistillKd;
+  throw std::invalid_argument("unknown method '" + name + "'");
+}
+
+int cmd_pretrain(const Args&) {
+  core::Pipeline pipeline{core::PipelineConfig::standard()};
+  const nn::TransformerLM& base = pipeline.base_model();
+  std::printf("base model ready: %s, %lld params\n",
+              base.config().to_string().c_str(),
+              static_cast<long long>(base.param_count()));
+  return 0;
+}
+
+int cmd_prune(const Args& args) {
+  core::PipelineConfig config = core::PipelineConfig::standard();
+  config.metric = parse_metric(arg_or(args, "metric", "angular"));
+  core::Pipeline pipeline{config};
+  const std::int64_t block = arg_int(args, "block", 3);
+  const core::PruneResult& result = pipeline.prune(block);
+  std::printf("pruned layers [%lld, %lld) via %s, distance %.4f\n",
+              static_cast<long long>(result.start),
+              static_cast<long long>(result.start + block),
+              core::metric_name(config.metric).c_str(), result.distance);
+  const std::string out = arg_or(args, "out", "");
+  if (!out.empty()) {
+    result.model.save(out);
+    std::printf("saved pruned model to %s\n", out.c_str());
+  }
+  return 0;
+}
+
+int cmd_distill(const Args& args) {
+  core::Pipeline pipeline{core::PipelineConfig::standard()};
+  core::DistillStats stats;
+  const data::SftDataset distilled = pipeline.distilled_dataset(
+      arg_or(args, "dataset", "openmathinstruct"), arg_int(args, "size", 800), &stats);
+  std::printf("distilled dataset '%s': %zu examples", distilled.name.c_str(),
+              distilled.examples.size());
+  if (stats.total > 0) {
+    std::printf(", acceptance %.1f%%", stats.acceptance_rate() * 100.0);
+  } else {
+    std::printf(" (loaded from cache)");
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int cmd_recover(const Args& args) {
+  core::Pipeline pipeline{core::PipelineConfig::standard()};
+  const nn::TransformerLM model = pipeline.recovered(
+      arg_int(args, "block", 3), parse_method(arg_or(args, "method", "sdd")),
+      arg_or(args, "dataset", "openmathinstruct"), arg_int(args, "size", 1600));
+  std::printf("recovered model: %lld layers, %lld params\n",
+              static_cast<long long>(model.n_layers()),
+              static_cast<long long>(model.param_count()));
+  const std::string out = arg_or(args, "out", "");
+  if (!out.empty()) {
+    model.save(out);
+    std::printf("saved to %s\n", out.c_str());
+  }
+  return 0;
+}
+
+int cmd_merge(const Args& args) {
+  const nn::TransformerLM a = nn::TransformerLM::load(args.at("a"));
+  const nn::TransformerLM b = nn::TransformerLM::load(args.at("b"));
+  const float t = std::stof(arg_or(args, "t", "0.5"));
+  const std::string mode = arg_or(args, "mode", "slerp");
+  const nn::TransformerLM merged = core::merge_models(
+      a, b, t,
+      mode == "lerp" ? core::MergeMode::kLerp : core::MergeMode::kSlerpPerTensor);
+  merged.save(args.at("out"));
+  std::printf("merged (%s, t=%.2f) -> %s\n", mode.c_str(), t,
+              args.at("out").c_str());
+  return 0;
+}
+
+int cmd_eval(const Args& args) {
+  core::Pipeline pipeline{core::PipelineConfig::standard()};
+  const std::string path = arg_or(args, "model", "");
+  const nn::TransformerLM model =
+      path.empty() ? pipeline.base_model().clone() : nn::TransformerLM::load(path);
+
+  eval::SuiteSpec spec;
+  spec.mc_items = arg_int(args, "items", 60);
+  spec.gen_items = spec.mc_items;
+  const auto& tasks = arg_or(args, "suite", "core") == "openllm"
+                          ? eval::openllm_v1_tasks()
+                          : eval::core_tasks();
+  const auto scores = eval::evaluate_suite(model, pipeline.world(), tasks, spec);
+  TablePrinter table{{"task", "accuracy"}};
+  for (const auto& [task, accuracy] : scores.tasks) {
+    table.add_row({task, format_float(accuracy * 100.0)});
+  }
+  table.add_separator();
+  table.add_row({"average", format_float(scores.average * 100.0)});
+  std::printf("%s", table.to_ascii().c_str());
+  return 0;
+}
+
+int cmd_generate(const Args& args) {
+  const nn::TransformerLM model = nn::TransformerLM::load(args.at("model"));
+  const data::Vocab& vocab = data::Vocab::instance();
+  std::vector<data::TokenId> prompt;
+  prompt.push_back(vocab.bos());
+  const auto body = vocab.encode(args.at("prompt"));
+  prompt.insert(prompt.end(), body.begin(), body.end());
+  prompt.push_back(vocab.sep());
+
+  nn::GenerateOptions options;
+  options.max_new_tokens = arg_int(args, "max-tokens", 48);
+  options.temperature = std::stof(arg_or(args, "temperature", "0"));
+  options.stop_token = vocab.eos();
+  const auto output = nn::generate(model, prompt, options);
+  std::printf("%s\n", vocab.decode(output).c_str());
+  return 0;
+}
+
+int cmd_info(const Args& args) {
+  const nn::TransformerLM model = nn::TransformerLM::load(args.at("model"));
+  const nn::ModelConfig& config = model.config();
+  std::printf("%s\n", config.to_string().c_str());
+  std::printf("parameters : %lld\n", static_cast<long long>(model.param_count()));
+  std::printf("flops/token: %lld (context %lld)\n",
+              static_cast<long long>(eval::flops_per_token(config, 64)),
+              static_cast<long long>(64));
+  std::printf("weight hash: %s\n", hash_hex(model.weight_hash()).c_str());
+  return 0;
+}
+
+void usage() {
+  std::printf(
+      "usage: sdd_cli <pretrain|prune|distill|recover|merge|eval|generate|info> "
+      "[--flag value ...]\n(see the header comment of examples/sdd_cli.cpp)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  try {
+    const Args args = parse_args(argc, argv, 2);
+    if (command == "pretrain") return cmd_pretrain(args);
+    if (command == "prune") return cmd_prune(args);
+    if (command == "distill") return cmd_distill(args);
+    if (command == "recover") return cmd_recover(args);
+    if (command == "merge") return cmd_merge(args);
+    if (command == "eval") return cmd_eval(args);
+    if (command == "generate") return cmd_generate(args);
+    if (command == "info") return cmd_info(args);
+    usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Run the complete table/figure/ablation suite in a cache-friendly order
+# (tables first so the figure benches reuse their fine-tuned checkpoints),
+# then the microbenchmarks. Usage: scripts/run_suite.sh [build-dir]
+set -u
+BUILD="${1:-build}"
+
+BENCHES=(
+  table2_datasets
+  table1_openllm
+  fig1_recovery
+  fig2_metrics
+  fig2_embedding
+  fig3_dataset_grid
+  ablation_metrics
+  ablation_datasize
+  ablation_merge
+  ablation_distill
+  ablation_width_depth
+  ablation_kd
+  micro_substrate
+)
+
+status=0
+for bench in "${BENCHES[@]}"; do
+  echo "=============================================================="
+  echo "== ${bench}"
+  echo "=============================================================="
+  if ! "${BUILD}/bench/${bench}"; then
+    echo "!! ${bench} FAILED (exit $?)"
+    status=1
+  fi
+done
+exit "${status}"

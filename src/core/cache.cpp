@@ -1,0 +1,97 @@
+#include "core/cache.hpp"
+
+#include <fstream>
+
+#include "util/hash.hpp"
+#include "util/serialize.hpp"
+
+namespace sdd::core {
+namespace {
+constexpr std::string_view kDatasetMagic = "SDDDATA1";
+constexpr std::uint32_t kDatasetVersion = 1;
+}  // namespace
+
+ExperimentCache::ExperimentCache(std::filesystem::path directory)
+    : directory_{std::move(directory)} {
+  std::filesystem::create_directories(directory_ / "models");
+  std::filesystem::create_directories(directory_ / "datasets");
+  std::filesystem::create_directories(directory_ / "metrics");
+}
+
+std::filesystem::path ExperimentCache::model_path(std::uint64_t key) const {
+  return directory_ / "models" / (hash_hex(key) + ".bin");
+}
+std::filesystem::path ExperimentCache::dataset_path(std::uint64_t key) const {
+  return directory_ / "datasets" / (hash_hex(key) + ".bin");
+}
+std::filesystem::path ExperimentCache::metric_path(std::uint64_t key) const {
+  return directory_ / "metrics" / (hash_hex(key) + ".txt");
+}
+
+std::optional<nn::TransformerLM> ExperimentCache::load_model(std::uint64_t key) const {
+  const auto path = model_path(key);
+  if (!std::filesystem::exists(path)) return std::nullopt;
+  return nn::TransformerLM::load(path);
+}
+
+void ExperimentCache::store_model(std::uint64_t key,
+                                  const nn::TransformerLM& model) const {
+  model.save(model_path(key));
+}
+
+std::optional<data::SftDataset> ExperimentCache::load_dataset(
+    std::uint64_t key) const {
+  const auto path = dataset_path(key);
+  if (!std::filesystem::exists(path)) return std::nullopt;
+  BinaryReader reader{path};
+  reader.expect_magic(kDatasetMagic, kDatasetVersion);
+  data::SftDataset dataset;
+  dataset.name = reader.read_string();
+  dataset.family = static_cast<data::TaskFamily>(reader.read_u32());
+  const std::uint64_t n = reader.read_u64();
+  dataset.examples.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    data::SftExample example;
+    example.prompt = reader.read_vector<data::TokenId>();
+    example.target = reader.read_vector<data::TokenId>();
+    example.extract = static_cast<data::ExtractKind>(reader.read_u32());
+    example.numeric_answer = reader.read_i64();
+    example.answer_key = reader.read_vector<data::TokenId>();
+    dataset.examples.push_back(std::move(example));
+  }
+  return dataset;
+}
+
+void ExperimentCache::store_dataset(std::uint64_t key,
+                                    const data::SftDataset& dataset) const {
+  BinaryWriter writer{dataset_path(key)};
+  writer.write_magic(kDatasetMagic, kDatasetVersion);
+  writer.write_string(dataset.name);
+  writer.write_u32(static_cast<std::uint32_t>(dataset.family));
+  writer.write_u64(dataset.examples.size());
+  for (const data::SftExample& example : dataset.examples) {
+    writer.write_vector(example.prompt);
+    writer.write_vector(example.target);
+    writer.write_u32(static_cast<std::uint32_t>(example.extract));
+    writer.write_i64(example.numeric_answer);
+    writer.write_vector(example.answer_key);
+  }
+  writer.flush();
+}
+
+std::optional<double> ExperimentCache::load_metric(std::uint64_t key) const {
+  const auto path = metric_path(key);
+  if (!std::filesystem::exists(path)) return std::nullopt;
+  std::ifstream in{path};
+  double value = 0.0;
+  if (!(in >> value)) return std::nullopt;
+  return value;
+}
+
+void ExperimentCache::store_metric(std::uint64_t key, double value) const {
+  std::ofstream out{metric_path(key)};
+  out.precision(17);
+  out << value << '\n';
+}
+
+}  // namespace sdd::core

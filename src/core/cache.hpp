@@ -1,0 +1,43 @@
+// On-disk experiment cache.
+//
+// Every expensive artifact (pre-trained base model, distilled dataset,
+// fine-tuned checkpoint, evaluation score) is stored under a content-derived
+// 64-bit key so that benches share work: the figure benches reuse the table
+// benches' models, and re-runs are incremental. Delete the cache directory
+// for a cold run.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+
+#include "data/sft.hpp"
+#include "nn/transformer.hpp"
+
+namespace sdd::core {
+
+class ExperimentCache {
+ public:
+  explicit ExperimentCache(std::filesystem::path directory);
+
+  const std::filesystem::path& directory() const { return directory_; }
+
+  std::optional<nn::TransformerLM> load_model(std::uint64_t key) const;
+  void store_model(std::uint64_t key, const nn::TransformerLM& model) const;
+
+  std::optional<data::SftDataset> load_dataset(std::uint64_t key) const;
+  void store_dataset(std::uint64_t key, const data::SftDataset& dataset) const;
+
+  // Scalar results (eval accuracies etc.).
+  std::optional<double> load_metric(std::uint64_t key) const;
+  void store_metric(std::uint64_t key, double value) const;
+
+ private:
+  std::filesystem::path model_path(std::uint64_t key) const;
+  std::filesystem::path dataset_path(std::uint64_t key) const;
+  std::filesystem::path metric_path(std::uint64_t key) const;
+
+  std::filesystem::path directory_;
+};
+
+}  // namespace sdd::core

@@ -1,0 +1,62 @@
+#include "core/distill.hpp"
+
+#include "nn/decode.hpp"
+#include "util/log.hpp"
+
+namespace sdd::core {
+
+data::SftDataset self_distill_dataset(const nn::TransformerLM& seed_model,
+                                      const data::SftDataset& dataset,
+                                      const DistillConfig& config,
+                                      DistillStats* stats) {
+  const data::Vocab& vocab = data::Vocab::instance();
+  data::SftDataset distilled;
+  distilled.name = dataset.name + "+selfdistilled";
+  distilled.family = dataset.family;
+  distilled.examples.reserve(dataset.examples.size());
+
+  DistillStats local;
+  nn::GenerateOptions gen;
+  gen.max_new_tokens = config.max_new_tokens;
+  gen.temperature = config.temperature;
+  gen.stop_token = vocab.eos();
+
+  for (std::size_t i = 0; i < dataset.examples.size(); ++i) {
+    const data::SftExample& example = dataset.examples[i];
+    ++local.total;
+
+    // Teacher prompt: (c, x) — optionally also conditioned on the reference
+    // response y, mirroring f_θ(y | c^t, x^t, y^t).
+    std::vector<data::TokenId> prompt{example.prompt};
+    if (config.condition_on_reference) {
+      // Insert the reference response before the trailing <sep> so the
+      // teacher rewrites it rather than answering blind.
+      prompt.pop_back();  // drop <sep>
+      for (data::TokenId token : example.target) {
+        if (token != vocab.eos()) prompt.push_back(token);
+      }
+      prompt.push_back(vocab.sep());
+    }
+
+    gen.seed = config.seed + i;
+    std::vector<data::TokenId> rewrite = nn::generate(seed_model, prompt, gen);
+
+    data::SftExample out = example;  // same prompt, extraction key, metadata
+    if (data::response_matches(vocab, example, rewrite)) {
+      rewrite.push_back(vocab.eos());
+      out.target = std::move(rewrite);
+      ++local.accepted;
+    } else {
+      ++local.fallback;  // conditional selection: keep the original y
+    }
+    distilled.examples.push_back(std::move(out));
+  }
+
+  log_info("self-distill[", dataset.name, "]: ", local.accepted, "/", local.total,
+           " teacher rewrites accepted (",
+           static_cast<int>(local.acceptance_rate() * 100.0), "%)");
+  if (stats != nullptr) *stats = local;
+  return distilled;
+}
+
+}  // namespace sdd::core

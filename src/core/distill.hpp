@@ -1,0 +1,54 @@
+// Self-data distillation (paper §2.2).
+//
+// For each fine-tuning example (c, x, y), the *original unpruned* seed model
+// generates a rewritten response ỹ ~ f_θ(y | c, x [, y]). The conditional
+// selection rule keeps ỹ only when Extract(ỹ) = y (the rewrite preserves the
+// reference answer) and falls back to the original y otherwise. The result
+// is a distilled dataset aligned with the seed model's output distribution,
+// which the pruned model is then fine-tuned on.
+#pragma once
+
+#include <cstdint>
+
+#include "data/sft.hpp"
+#include "nn/transformer.hpp"
+
+namespace sdd::core {
+
+struct DistillConfig {
+  std::int64_t max_new_tokens = 48;
+  float temperature = 0.0F;  // greedy by default (deterministic, cacheable)
+  std::uint64_t seed = 99;
+  // When true, the teacher prompt additionally conditions on the reference
+  // response y (the paper's ỹ ~ f(y | c, x, y)); when false the teacher sees
+  // only (c, x). Both satisfy the selection rule; the flag feeds the prompt-
+  // conditioning ablation bench.
+  bool condition_on_reference = false;
+
+  std::uint64_t hash() const {
+    std::uint64_t h = kFnvOffset;
+    h = fnv1a_value(max_new_tokens, h);
+    h = fnv1a_value(temperature, h);
+    h = fnv1a_value(seed, h);
+    h = fnv1a_value(condition_on_reference, h);
+    return h;
+  }
+};
+
+struct DistillStats {
+  std::int64_t total = 0;
+  std::int64_t accepted = 0;   // teacher rewrite kept
+  std::int64_t fallback = 0;   // Extract mismatch -> original target kept
+  double acceptance_rate() const {
+    return total > 0 ? static_cast<double>(accepted) / static_cast<double>(total) : 0.0;
+  }
+};
+
+// Build the distilled dataset. Prompts are preserved; targets are replaced by
+// verified teacher generations (or kept as-is on verification failure).
+data::SftDataset self_distill_dataset(const nn::TransformerLM& seed_model,
+                                      const data::SftDataset& dataset,
+                                      const DistillConfig& config,
+                                      DistillStats* stats = nullptr);
+
+}  // namespace sdd::core

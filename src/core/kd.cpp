@@ -1,0 +1,103 @@
+#include "core/kd.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "tensor/kernels.hpp"
+#include "tensor/ops.hpp"
+#include "train/optim.hpp"
+#include "util/log.hpp"
+
+namespace sdd::core {
+namespace {
+
+// Teacher probabilities at temperature tau over every position of the batch
+// (constant w.r.t. the student's autograd tape).
+std::vector<float> teacher_soft_targets(const nn::TransformerLM& teacher,
+                                        const train::SftBatch& batch,
+                                        float temperature) {
+  NoGradGuard no_grad;
+  const Tensor logits = teacher.forward(batch.inputs, batch.batch, batch.seq);
+  std::vector<float> probs(logits.data().begin(), logits.data().end());
+  const float inv_tau = 1.0F / temperature;
+  for (float& v : probs) v *= inv_tau;
+  const std::int64_t vocab = teacher.config().vocab_size;
+  kernels::softmax_rows(probs.data(), batch.batch * batch.seq, vocab);
+  return probs;
+}
+
+}  // namespace
+
+train::TrainStats kd_train(nn::TransformerLM& student,
+                           const nn::TransformerLM& teacher,
+                           const data::SftDataset& dataset,
+                           const train::SftTrainConfig& config, const KdConfig& kd) {
+  if (dataset.examples.empty()) throw std::invalid_argument("kd_train: empty dataset");
+  if (!(student.config().vocab_size == teacher.config().vocab_size)) {
+    throw std::invalid_argument("kd_train: teacher/student vocab mismatch");
+  }
+  if (kd.alpha < 0.0F || kd.alpha > 1.0F) {
+    throw std::invalid_argument("kd_train: alpha must be in [0, 1]");
+  }
+
+  train::AdamW optimizer{student.trainable_parameters(), config.optimizer};
+  Rng rng{config.seed};
+  train::TrainStats stats;
+
+  const auto n = static_cast<std::int64_t>(dataset.examples.size());
+  const std::int64_t steps_per_epoch = std::max<std::int64_t>(1, n / config.batch_size);
+  const std::int64_t steps = std::min(config.max_steps, config.epochs * steps_per_epoch);
+  const std::int64_t max_len = student.config().max_seq_len;
+  const float tau = kd.temperature;
+
+  for (std::int64_t step = 0; step < steps; ++step) {
+    std::vector<const data::SftExample*> picked;
+    picked.reserve(static_cast<std::size_t>(config.batch_size));
+    for (std::int64_t b = 0; b < config.batch_size; ++b) {
+      picked.push_back(&dataset.examples[rng.index(dataset.examples.size())]);
+    }
+    const train::SftBatch batch =
+        train::pack_sft_batch(picked, data::Vocab::instance().pad(), max_len);
+    const std::vector<float> soft_targets =
+        teacher_soft_targets(teacher, batch, tau);
+
+    const Tensor logits = student.forward(batch.inputs, batch.batch, batch.seq);
+    // Soft term at temperature tau (the tau^2 factor keeps gradient scale
+    // comparable to the hard term, as in Hinton et al. 2015).
+    const Tensor scaled_logits = ops::scale(logits, 1.0F / tau);
+    const Tensor soft_loss =
+        ops::soft_cross_entropy(scaled_logits, soft_targets, batch.weights);
+    const Tensor hard_loss =
+        ops::cross_entropy(logits, batch.targets, batch.weights);
+    Tensor loss = ops::add_scaled(ops::scale(soft_loss, kd.alpha * tau * tau),
+                                  hard_loss, 1.0F - kd.alpha);
+
+    const float loss_value = loss.item();
+    optimizer.zero_grad();
+    loss.backward();
+    optimizer.clip_gradients(config.clip_norm);
+    const float lr = train::cosine_lr(step, steps, config.warmup_steps,
+                                      config.optimizer.lr,
+                                      config.optimizer.lr * config.min_lr_fraction);
+    optimizer.step(lr);
+
+    stats.losses.push_back(loss_value);
+    if (step == 0) stats.initial_loss = loss_value;
+    if (config.log_every > 0 && step % config.log_every == 0) {
+      log_info("kd[", dataset.name, "] step ", step, "/", steps, " loss=", loss_value);
+    }
+  }
+  stats.final_loss = stats.losses.empty()
+                         ? 0.0F
+                         : std::accumulate(stats.losses.end() -
+                                               static_cast<std::ptrdiff_t>(std::max<
+                                                   std::size_t>(1, stats.losses.size() /
+                                                                       10)),
+                                           stats.losses.end(), 0.0F) /
+                               static_cast<float>(
+                                   std::max<std::size_t>(1, stats.losses.size() / 10));
+  return stats;
+}
+
+}  // namespace sdd::core

@@ -1,0 +1,86 @@
+#include "core/merge.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sdd::core {
+namespace {
+
+// Angle between a and b after normalization to the unit sphere.
+double vector_angle(std::span<const float> a, std::span<const float> b) {
+  double dot = 0.0, norm_a = 0.0, norm_b = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    norm_a += static_cast<double>(a[i]) * a[i];
+    norm_b += static_cast<double>(b[i]) * b[i];
+  }
+  const double denom = std::sqrt(norm_a) * std::sqrt(norm_b);
+  if (denom == 0.0) return 0.0;
+  const double cos_angle = std::min(1.0, std::max(-1.0, dot / denom));
+  return std::acos(cos_angle);
+}
+
+}  // namespace
+
+std::vector<float> lerp(std::span<const float> a, std::span<const float> b, float t) {
+  if (a.size() != b.size()) throw std::invalid_argument("lerp: size mismatch");
+  std::vector<float> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = (1.0F - t) * a[i] + t * b[i];
+  return out;
+}
+
+std::vector<float> slerp(std::span<const float> a, std::span<const float> b, float t) {
+  if (a.size() != b.size()) throw std::invalid_argument("slerp: size mismatch");
+  const double angle = vector_angle(a, b);
+  constexpr double kParallelEps = 1e-4;
+  if (angle < kParallelEps || std::sin(angle) < kParallelEps) {
+    return lerp(a, b, t);  // mergekit's degenerate-angle fallback
+  }
+  const double inv_sin = 1.0 / std::sin(angle);
+  const auto w_a = static_cast<float>(std::sin((1.0 - t) * angle) * inv_sin);
+  const auto w_b = static_cast<float>(std::sin(t * angle) * inv_sin);
+  std::vector<float> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = w_a * a[i] + w_b * b[i];
+  return out;
+}
+
+nn::TransformerLM merge_models(const nn::TransformerLM& a, const nn::TransformerLM& b,
+                               float t, MergeMode mode) {
+  if (!(a.config() == b.config())) {
+    throw std::invalid_argument("merge_models: architecture mismatch: " +
+                                a.config().to_string() + " vs " +
+                                b.config().to_string());
+  }
+  if (t < 0.0F || t > 1.0F) {
+    throw std::invalid_argument("merge_models: t must be in [0, 1]");
+  }
+
+  nn::TransformerLM merged = a.clone();
+  const nn::ParamList params_a = a.parameters();
+  const nn::ParamList params_b = b.parameters();
+  const nn::ParamList params_out = merged.parameters();
+
+  if (mode == MergeMode::kSlerpWholeModel) {
+    const std::vector<float> flat_a = nn::flatten_params(params_a);
+    const std::vector<float> flat_b = nn::flatten_params(params_b);
+    nn::unflatten_params(params_out, slerp(flat_a, flat_b, t));
+    return merged;
+  }
+
+  for (std::size_t i = 0; i < params_out.size(); ++i) {
+    if (params_a[i].name != params_b[i].name) {
+      throw std::logic_error("merge_models: parameter name mismatch at index " +
+                             std::to_string(i));
+    }
+    const auto data_a = params_a[i].tensor.data();
+    const auto data_b = params_b[i].tensor.data();
+    const std::vector<float> mixed = mode == MergeMode::kLerp
+                                         ? lerp(data_a, data_b, t)
+                                         : slerp(data_a, data_b, t);
+    Tensor target = params_out[i].tensor;
+    target.copy_from(mixed);
+  }
+  return merged;
+}
+
+}  // namespace sdd::core

@@ -1,0 +1,30 @@
+// Model merging via Spherical Linear Interpolation (paper §4 "Improving
+// Self-Data Distillation with Model Merging" and Appendix D).
+//
+// SLERP interpolates along the great circle between two parameter vectors:
+//     theta_t = [sin((1-t)*Omega) * theta_0 + sin(t*Omega) * theta_1] / sin(Omega)
+// with Omega the angle between the normalized vectors. Following mergekit
+// (the tool the paper uses), interpolation is applied per tensor on the raw
+// (unnormalized) parameters — which preserves parameter scale — and falls
+// back to linear interpolation when the vectors are nearly (anti)parallel.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "nn/transformer.hpp"
+
+namespace sdd::core {
+
+// Core SLERP on flat vectors; exposed for tests and the merge ablation.
+std::vector<float> slerp(std::span<const float> a, std::span<const float> b, float t);
+std::vector<float> lerp(std::span<const float> a, std::span<const float> b, float t);
+
+enum class MergeMode { kSlerpPerTensor, kSlerpWholeModel, kLerp };
+
+// Merge two models with identical architectures; t=0 returns a's weights,
+// t=1 returns b's.
+nn::TransformerLM merge_models(const nn::TransformerLM& a, const nn::TransformerLM& b,
+                               float t, MergeMode mode = MergeMode::kSlerpPerTensor);
+
+}  // namespace sdd::core

@@ -1,0 +1,240 @@
+#include "core/pipeline.hpp"
+
+#include <stdexcept>
+
+#include "data/kb_gen.hpp"
+
+#include "util/env.hpp"
+#include "util/log.hpp"
+
+namespace sdd::core {
+
+std::string method_name(FtMethod method) {
+  switch (method) {
+    case FtMethod::kNone:
+      return "no_ft";
+    case FtMethod::kSft:
+      return "sft";
+    case FtMethod::kSelfDataDistill:
+      return "self_data_distill";
+    case FtMethod::kSftReplay:
+      return "sft_replay";
+    case FtMethod::kKd:
+      return "kd";
+    case FtMethod::kSelfDataDistillKd:
+      return "self_data_distill_kd";
+  }
+  return "unknown";
+}
+
+PipelineConfig PipelineConfig::standard() {
+  PipelineConfig config;
+  config.model.vocab_size = data::Vocab::instance().size();
+  config.model.d_model = env_int("SDD_DMODEL", 64);
+  config.model.n_heads = env_int("SDD_HEADS", 4);
+  config.model.n_layers = env_int("SDD_LAYERS", 16);
+  config.model.d_ff = env_int("SDD_DFF", 128);
+  config.model.max_seq_len = env_int("SDD_MAX_SEQ", 160);
+
+  config.corpus.n_documents = env_int("SDD_CORPUS_DOCS", 24000);
+
+  config.pretrain.steps = env_int("SDD_PRETRAIN_STEPS", 4000);
+  config.pretrain.batch_size = env_int("SDD_PRETRAIN_BATCH", 8);
+  config.pretrain.seq_len = env_int("SDD_PRETRAIN_SEQ", 96);
+  config.pretrain.optimizer.lr =
+      static_cast<float>(env_double("SDD_PRETRAIN_LR", 3e-3));
+
+  config.sft.epochs = env_int("SDD_SFT_EPOCHS", 1);
+  config.sft.max_steps = env_int("SDD_SFT_MAX_STEPS", 120);
+  config.sft.batch_size = env_int("SDD_SFT_BATCH", 8);
+  config.sft.optimizer.lr = static_cast<float>(env_double("SDD_SFT_LR", 1e-3));
+
+  config.lora.rank = env_int("SDD_LORA_RANK", 8);
+  config.lora.alpha = static_cast<float>(env_double("SDD_LORA_ALPHA", 16.0));
+
+  config.distill.max_new_tokens = env_int("SDD_DISTILL_MAX_TOKENS", 48);
+
+  config.cache_dir = env_string("SDD_CACHE_DIR", "sdd_cache");
+  return config;
+}
+
+std::uint64_t PipelineConfig::base_key() const {
+  std::uint64_t h = model.hash();
+  h = hash_combine(h, corpus.hash());
+  h = hash_combine(h, fnv1a_value(pretrain.steps));
+  h = hash_combine(h, fnv1a_value(pretrain.batch_size));
+  h = hash_combine(h, fnv1a_value(pretrain.seq_len));
+  h = hash_combine(h, fnv1a_value(pretrain.optimizer.lr));
+  h = hash_combine(h, fnv1a_value(pretrain.seed));
+  h = hash_combine(h, fnv1a_value(world_seed));
+  h = hash_combine(h, fnv1a_value(base_seed));
+  h = hash_combine(h, fnv1a_value(version));
+  return h;
+}
+
+Pipeline::Pipeline(PipelineConfig config)
+    : config_{std::move(config)},
+      world_{config_.world_seed},
+      cache_{config_.cache_dir} {
+  if (config_.model.vocab_size == 0) {
+    config_.model.vocab_size = data::Vocab::instance().size();
+  }
+}
+
+const nn::TransformerLM& Pipeline::base_model() {
+  if (base_ != nullptr) return *base_;
+  const std::uint64_t key = config_.base_key();
+  if (auto cached = cache_.load_model(key)) {
+    log_info("pipeline: loaded cached base model (key=", hash_hex(key), ")");
+    base_ = std::make_unique<nn::TransformerLM>(std::move(*cached));
+    return *base_;
+  }
+  log_info("pipeline: pre-training base model ", config_.model.to_string());
+  const std::vector<data::TokenId> stream =
+      data::build_pretraining_stream(world_, config_.corpus);
+  auto model = std::make_unique<nn::TransformerLM>(config_.model, config_.base_seed);
+  const train::TrainStats stats = train::pretrain(*model, stream, config_.pretrain);
+  log_info("pipeline: pre-training done, loss ", stats.initial_loss, " -> ",
+           stats.final_loss);
+  cache_.store_model(key, *model);
+  base_ = std::move(model);
+  return *base_;
+}
+
+const std::vector<std::vector<data::TokenId>>& Pipeline::calibration() {
+  if (calibration_.empty()) {
+    calibration_ = data::build_calibration_set(world_, config_.calib_samples,
+                                               config_.calib_seq, config_.calib_seed);
+  }
+  return calibration_;
+}
+
+const PruneResult& Pipeline::prune(std::int64_t block_size) {
+  const auto it = prune_results_.find(block_size);
+  if (it != prune_results_.end()) return it->second;
+  PruneResult result =
+      prune_model(base_model(), calibration(), block_size, config_.metric);
+  log_info("pipeline: prune n=", block_size, " -> layers [", result.start, ", ",
+           result.start + block_size, "), distance=", result.distance);
+  return prune_results_.emplace(block_size, std::move(result)).first->second;
+}
+
+data::SftDataset Pipeline::raw_dataset(const std::string& name, std::int64_t size) {
+  return data::make_dataset_by_name(world_, name, size,
+                                    config_.dataset_seed + fnv1a(name));
+}
+
+data::SftDataset Pipeline::distilled_dataset(const std::string& name,
+                                             std::int64_t size, DistillStats* stats) {
+  std::uint64_t key = config_.base_key();
+  key = hash_combine(key, fnv1a(name));
+  key = hash_combine(key, fnv1a_value(size));
+  key = hash_combine(key, fnv1a_value(config_.dataset_seed));
+  key = hash_combine(key, config_.distill.hash());
+  key = hash_combine(key, fnv1a("distilled-dataset"));
+  if (auto cached = cache_.load_dataset(key)) {
+    if (stats != nullptr) *stats = DistillStats{};  // stats only on fresh runs
+    return std::move(*cached);
+  }
+  const data::SftDataset raw = raw_dataset(name, size);
+  const data::SftDataset distilled =
+      self_distill_dataset(base_model(), raw, config_.distill, stats);
+  cache_.store_dataset(key, distilled);
+  return distilled;
+}
+
+data::SftDataset Pipeline::replay_dataset(const std::string& name,
+                                          std::int64_t size) {
+  data::SftDataset mixture = raw_dataset(name, size);
+  mixture.name = name + "+replay";
+  const auto n_replay = static_cast<std::int64_t>(
+      config_.replay_ratio * static_cast<double>(size));
+  Rng rng{config_.dataset_seed ^ 0x5EB1A7ULL};
+  const data::Vocab& vocab = data::Vocab::instance();
+  for (std::int64_t i = 0; i < n_replay; ++i) {
+    const data::QaPair qa = data::render_kb_qa(world_, rng);
+    data::SftExample example;
+    example.prompt = vocab.encode(qa.question);
+    example.prompt.insert(example.prompt.begin(), vocab.bos());
+    example.prompt.push_back(vocab.sep());
+    example.target = vocab.encode(qa.answer);
+    example.target.push_back(vocab.eos());
+    example.extract = data::ExtractKind::kOpenEnded;
+    mixture.examples.push_back(std::move(example));
+  }
+  return mixture;
+}
+
+std::uint64_t Pipeline::recovered_key(std::int64_t block_size, FtMethod method,
+                                      const std::string& dataset_name,
+                                      std::int64_t size) const {
+  std::uint64_t key = config_.base_key();
+  key = hash_combine(key, fnv1a_value(block_size));
+  key = hash_combine(key, fnv1a_value(static_cast<int>(config_.metric)));
+  key = hash_combine(key, fnv1a(method_name(method)));
+  if (method != FtMethod::kNone) {
+    key = hash_combine(key, fnv1a(dataset_name));
+    key = hash_combine(key, fnv1a_value(size));
+    key = hash_combine(key, fnv1a_value(config_.dataset_seed));
+    key = hash_combine(key, config_.sft.hash());
+    key = hash_combine(key, config_.lora.hash());
+    if (method == FtMethod::kSelfDataDistill ||
+        method == FtMethod::kSelfDataDistillKd) {
+      key = hash_combine(key, config_.distill.hash());
+    }
+    if (method == FtMethod::kKd || method == FtMethod::kSelfDataDistillKd) {
+      key = hash_combine(key, config_.kd.hash());
+    }
+    if (method == FtMethod::kSftReplay) {
+      key = hash_combine(key, fnv1a_value(config_.replay_ratio));
+    }
+  }
+  return key;
+}
+
+nn::TransformerLM Pipeline::recovered(std::int64_t block_size, FtMethod method,
+                                      const std::string& dataset_name,
+                                      std::int64_t size) {
+  if (method == FtMethod::kNone) return prune(block_size).model.clone();
+
+  const std::uint64_t key = recovered_key(block_size, method, dataset_name, size);
+  if (auto cached = cache_.load_model(key)) return std::move(*cached);
+
+  const auto make_dataset = [&]() -> data::SftDataset {
+    switch (method) {
+      case FtMethod::kSelfDataDistill:
+      case FtMethod::kSelfDataDistillKd:
+        return distilled_dataset(dataset_name, size);
+      case FtMethod::kSftReplay:
+        return replay_dataset(dataset_name, size);
+      default:
+        return raw_dataset(dataset_name, size);
+    }
+  };
+  const data::SftDataset dataset = make_dataset();
+
+  nn::TransformerLM model = prune(block_size).model.clone();
+  model.attach_lora(config_.lora, /*seed=*/key);
+  const bool use_kd =
+      method == FtMethod::kKd || method == FtMethod::kSelfDataDistillKd;
+  const train::TrainStats stats =
+      use_kd ? kd_train(model, base_model(), dataset, config_.sft, config_.kd)
+             : train::sft_train(model, dataset, config_.sft);
+  model.merge_lora();
+  log_info("pipeline: ", method_name(method), " on ", dataset.name, " n=", block_size,
+           " loss ", stats.initial_loss, " -> ", stats.final_loss);
+  cache_.store_model(key, model);
+  return model;
+}
+
+nn::TransformerLM Pipeline::merged(std::int64_t block_size, const std::string& dataset_a,
+                                   std::int64_t size_a, const std::string& dataset_b,
+                                   std::int64_t size_b, float t) {
+  const nn::TransformerLM model_a =
+      recovered(block_size, FtMethod::kSelfDataDistill, dataset_a, size_a);
+  const nn::TransformerLM model_b =
+      recovered(block_size, FtMethod::kSelfDataDistill, dataset_b, size_b);
+  return merge_models(model_a, model_b, t, MergeMode::kSlerpPerTensor);
+}
+
+}  // namespace sdd::core

@@ -1,0 +1,131 @@
+// End-to-end experiment pipeline: pretrain (once, cached) -> prune ->
+// {No FT | SFT | Self-Data Distillation [+ model merging]} -> hand the model
+// to the evaluation harness.
+//
+// This is the orchestration layer behind every table and figure bench. All
+// heavyweight stages are cached on disk through ExperimentCache; in-process
+// memoization covers the cheap ones (calibration set, prune curves).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/cache.hpp"
+#include "core/distill.hpp"
+#include "core/kd.hpp"
+#include "core/merge.hpp"
+#include "core/prune.hpp"
+#include "data/corpus.hpp"
+#include "data/world.hpp"
+#include "train/trainer.hpp"
+
+namespace sdd::core {
+
+// Recovery strategies for a pruned model:
+//   kNone              - one-shot pruning, no fine-tuning
+//   kSft               - LoRA SFT on the raw (human-style) dataset
+//   kSelfDataDistill   - LoRA SFT on the self-distilled dataset (the paper)
+//   kSftReplay         - SFT on raw data mixed with replayed pre-training-
+//                        style examples (the classic forgetting baseline the
+//                        paper's related work discusses)
+//   kKd                - teacher-logit distillation on the raw dataset
+//   kSelfDataDistillKd - SDD data + teacher-logit distillation (the paper's
+//                        "combine with KD" future-work recipe)
+enum class FtMethod {
+  kNone,
+  kSft,
+  kSelfDataDistill,
+  kSftReplay,
+  kKd,
+  kSelfDataDistillKd,
+};
+std::string method_name(FtMethod method);
+
+struct PipelineConfig {
+  nn::ModelConfig model;           // vocab_size is filled from the Vocab
+  data::CorpusConfig corpus;
+  train::PretrainConfig pretrain;
+  nn::LoraConfig lora;
+  train::SftTrainConfig sft;
+  DistillConfig distill;
+  KdConfig kd;
+  double replay_ratio = 0.5;  // replayed examples per raw example (kSftReplay)
+  ImportanceMetric metric = ImportanceMetric::kAngularCosine;
+  std::uint64_t world_seed = 42;
+  std::uint64_t dataset_seed = 1001;
+  std::int64_t calib_samples = 8;
+  std::int64_t calib_seq = 64;
+  std::uint64_t calib_seed = 4242;
+  std::uint64_t base_seed = 7;     // weight init seed for pre-training
+  std::filesystem::path cache_dir = "sdd_cache";
+  std::uint64_t version = 1;       // bump to invalidate all cached artifacts
+
+  // Default scaled configuration used by all benches (see DESIGN.md §5).
+  // Reads SDD_* environment overrides (SDD_LAYERS, SDD_DMODEL,
+  // SDD_PRETRAIN_STEPS, SDD_CACHE_DIR, ...) so the suite can be scaled up or
+  // down without recompiling.
+  static PipelineConfig standard();
+
+  std::uint64_t base_key() const;  // identifies the pre-trained base model
+};
+
+class Pipeline {
+ public:
+  explicit Pipeline(PipelineConfig config);
+
+  const PipelineConfig& config() const { return config_; }
+  const data::World& world() const { return world_; }
+  ExperimentCache& cache() { return cache_; }
+
+  // The pre-trained (unpruned) base model; trains on first use, then loads
+  // from the cache.
+  const nn::TransformerLM& base_model();
+
+  // Calibration set (the RedPajama stand-in) for the pruning metrics.
+  const std::vector<std::vector<data::TokenId>>& calibration();
+
+  // Algorithm 1 for the configured metric; memoized per block size.
+  const PruneResult& prune(std::int64_t block_size);
+
+  // Raw fine-tuning dataset by name ("gsm8k", "openmathinstruct", "dolly",
+  // "alpaca") at a given sample count.
+  data::SftDataset raw_dataset(const std::string& name, std::int64_t size);
+
+  // Self-distilled version of the raw dataset (teacher = unpruned base
+  // model); disk cached.
+  data::SftDataset distilled_dataset(const std::string& name, std::int64_t size,
+                                     DistillStats* stats = nullptr);
+
+  // Raw dataset mixed with `replay_ratio * size` house-style pre-training
+  // examples (data-replay forgetting baseline).
+  data::SftDataset replay_dataset(const std::string& name, std::int64_t size);
+
+  // Pruned model recovered with the given method; disk cached. For kNone the
+  // pruned model is returned as-is.
+  nn::TransformerLM recovered(std::int64_t block_size, FtMethod method,
+                              const std::string& dataset_name, std::int64_t size);
+
+  // Self-data distillation + model merging: SLERP(t) of two SDD-recovered
+  // models fine-tuned on different datasets (paper merges OpenMathInstruct
+  // and Alpaca at block level).
+  nn::TransformerLM merged(std::int64_t block_size, const std::string& dataset_a,
+                           std::int64_t size_a, const std::string& dataset_b,
+                           std::int64_t size_b, float t = 0.5F);
+
+  // Cache key for a recovered model (used by benches to key eval results).
+  std::uint64_t recovered_key(std::int64_t block_size, FtMethod method,
+                              const std::string& dataset_name,
+                              std::int64_t size) const;
+
+ private:
+  PipelineConfig config_;
+  data::World world_;
+  ExperimentCache cache_;
+  std::unique_ptr<nn::TransformerLM> base_;
+  std::vector<std::vector<data::TokenId>> calibration_;
+  std::map<std::int64_t, PruneResult> prune_results_;
+};
+
+}  // namespace sdd::core

@@ -1,0 +1,64 @@
+#include "core/quant.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sdd::core {
+
+void quantize_dequantize(std::span<float> values, std::int64_t row_size, int bits,
+                         QuantStats* stats) {
+  if (bits < 2 || bits > 8) {
+    throw std::invalid_argument("quantize_dequantize: bits must be in [2, 8]");
+  }
+  if (row_size <= 0 || values.size() % static_cast<std::size_t>(row_size) != 0) {
+    throw std::invalid_argument("quantize_dequantize: bad row size");
+  }
+  const auto q_max = static_cast<float>((1 << (bits - 1)) - 1);  // e.g. 127 for 8b
+
+  for (std::size_t begin = 0; begin < values.size();
+       begin += static_cast<std::size_t>(row_size)) {
+    float max_abs = 0.0F;
+    for (std::int64_t i = 0; i < row_size; ++i) {
+      max_abs = std::max(max_abs, std::fabs(values[begin + static_cast<std::size_t>(i)]));
+    }
+    const float scale = max_abs > 0.0F ? max_abs / q_max : 1.0F;
+    const float inv_scale = 1.0F / scale;
+    for (std::int64_t i = 0; i < row_size; ++i) {
+      float& v = values[begin + static_cast<std::size_t>(i)];
+      const float quantized =
+          std::clamp(std::round(v * inv_scale), -q_max - 1.0F, q_max);
+      const float restored = quantized * scale;
+      if (stats != nullptr) {
+        const double err = std::fabs(static_cast<double>(restored) - v);
+        stats->max_abs_error = std::max(stats->max_abs_error, err);
+        stats->mean_abs_error += err;
+        ++stats->values_quantized;
+      }
+      v = restored;
+    }
+  }
+}
+
+nn::TransformerLM quantize_model(const nn::TransformerLM& model,
+                                 const QuantConfig& config, QuantStats* stats) {
+  nn::TransformerLM quantized = model.clone();
+  QuantStats local;
+
+  for (const nn::NamedParam& param : quantized.parameters()) {
+    const Shape& shape = param.tensor.shape();
+    if (shape.size() != 2) continue;  // norm gains stay fp32
+    if (!config.quantize_embedding && param.name == "tok_embed.weight") continue;
+    Tensor tensor = param.tensor;
+    const std::int64_t row_size = config.per_row ? shape[1] : tensor.numel();
+    quantize_dequantize(tensor.data(), row_size, config.bits, &local);
+    ++local.tensors_quantized;
+  }
+  if (local.values_quantized > 0) {
+    local.mean_abs_error /= static_cast<double>(local.values_quantized);
+  }
+  if (stats != nullptr) *stats = local;
+  return quantized;
+}
+
+}  // namespace sdd::core

@@ -1,0 +1,68 @@
+#include "core/sparsify.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace sdd::core {
+
+nn::TransformerLM sparsify_model(const nn::TransformerLM& model, double sparsity,
+                                 SparsifyStats* stats) {
+  if (sparsity < 0.0 || sparsity >= 1.0) {
+    throw std::invalid_argument("sparsify_model: sparsity must be in [0, 1)");
+  }
+  nn::TransformerLM sparse = model.clone();
+  SparsifyStats local;
+  std::int64_t considered = 0;
+
+  for (const nn::NamedParam& param : sparse.parameters()) {
+    if (param.tensor.shape().size() != 2) continue;
+    Tensor tensor = param.tensor;
+    auto data = tensor.data();
+    considered += static_cast<std::int64_t>(data.size());
+    const auto k = static_cast<std::size_t>(
+        sparsity * static_cast<double>(data.size()));
+    if (k == 0) {
+      ++local.tensors_sparsified;
+      continue;
+    }
+    // Per-tensor magnitude threshold via nth_element on |w|.
+    std::vector<float> magnitudes(data.size());
+    for (std::size_t i = 0; i < data.size(); ++i) magnitudes[i] = std::fabs(data[i]);
+    std::nth_element(magnitudes.begin(),
+                     magnitudes.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                     magnitudes.end());
+    const float threshold = magnitudes[k - 1];
+    std::size_t zeroed = 0;
+    for (std::size_t i = 0; i < data.size() && zeroed < k; ++i) {
+      if (std::fabs(data[i]) <= threshold) {
+        data[i] = 0.0F;
+        ++zeroed;
+      }
+    }
+    local.zeros_written += static_cast<std::int64_t>(zeroed);
+    ++local.tensors_sparsified;
+  }
+
+  local.achieved_sparsity =
+      considered > 0
+          ? static_cast<double>(local.zeros_written) / static_cast<double>(considered)
+          : 0.0;
+  if (stats != nullptr) *stats = local;
+  return sparse;
+}
+
+double measured_sparsity(const nn::TransformerLM& model) {
+  std::int64_t zeros = 0, total = 0;
+  for (const nn::NamedParam& param : model.parameters()) {
+    if (param.tensor.shape().size() != 2) continue;
+    for (float v : param.tensor.data()) {
+      zeros += v == 0.0F ? 1 : 0;
+      ++total;
+    }
+  }
+  return total > 0 ? static_cast<double>(zeros) / static_cast<double>(total) : 0.0;
+}
+
+}  // namespace sdd::core

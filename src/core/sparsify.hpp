@@ -1,0 +1,31 @@
+// Unstructured magnitude sparsification (the paper's conclusion proposes
+// combining self-data distillation with sparsity; its related work discusses
+// unstructured pruning on sparsity-exploiting hardware like the CS-3).
+//
+// Zeroes the lowest-magnitude fraction of each 2-D projection weight
+// (per-tensor thresholding, the standard one-shot magnitude baseline).
+// The zeros are "soft" (fp32 execution); a helper reports achieved sparsity
+// so experiments can verify masks survive LoRA-based recovery (the frozen
+// base keeps its zeros until adapters are merged).
+#pragma once
+
+#include <cstdint>
+
+#include "nn/transformer.hpp"
+
+namespace sdd::core {
+
+struct SparsifyStats {
+  std::int64_t tensors_sparsified = 0;
+  std::int64_t zeros_written = 0;
+  double achieved_sparsity = 0.0;  // zeros / considered values
+};
+
+// Zero the `sparsity` fraction of lowest-|w| entries of every 2-D weight.
+nn::TransformerLM sparsify_model(const nn::TransformerLM& model, double sparsity,
+                                 SparsifyStats* stats = nullptr);
+
+// Fraction of exactly-zero values among the model's 2-D weights.
+double measured_sparsity(const nn::TransformerLM& model);
+
+}  // namespace sdd::core

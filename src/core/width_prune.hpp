@@ -1,0 +1,36 @@
+// Width pruning baseline (structured FFN-channel pruning).
+//
+// The paper's related work contrasts depth pruning (removing whole decoder
+// blocks — Algorithm 1) with width pruning (removing units inside layers,
+// e.g. Shortened-Llama / LLM-Pruner). This module implements the classic
+// magnitude-based width baseline: per layer, score every SwiGLU hidden
+// channel j by ||w_gate[j,:]|| * ||w_up[j,:]|| * ||w_down[:,j]|| and remove
+// the lowest-scoring fraction, shrinking the three projections consistently.
+// Attention heads are left intact (removing them changes the residual-stream
+// interface; the paper's width baselines also predominantly prune FFN
+// width). The result is a drop-in TransformerLM with per-layer d_ff reduced,
+// directly comparable to depth pruning at matched parameter savings.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/transformer.hpp"
+
+namespace sdd::core {
+
+struct WidthPruneResult {
+  nn::TransformerLM model;
+  std::int64_t channels_removed_per_layer = 0;
+  double param_savings = 0.0;  // fraction of total parameters removed
+};
+
+// Remove `fraction` of each layer's SwiGLU hidden channels (rounded down).
+WidthPruneResult width_prune_ffn(const nn::TransformerLM& model, double fraction);
+
+// The FFN-width fraction that matches the parameter savings of removing
+// `depth_blocks` whole layers (for like-for-like depth-vs-width comparisons).
+double width_fraction_matching_depth(const nn::ModelConfig& config,
+                                     std::int64_t depth_blocks);
+
+}  // namespace sdd::core

@@ -1,0 +1,43 @@
+// Pre-training corpus: a mixture of synthetic document families rendered in
+// the model's house style (the stand-in for the paper's pre-training
+// distribution), plus the held-out calibration slice that plays the role of
+// RedPajama for the pruning metrics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/vocab.hpp"
+#include "data/world.hpp"
+
+namespace sdd::data {
+
+struct CorpusConfig {
+  std::int64_t n_documents = 20000;
+  std::uint64_t seed = 7;
+  // Mixture weights (normalized internally).
+  double w_math_qa = 0.34;       // solved word problems (house style)
+  double w_equation_drill = 0.16;  // bare arithmetic tables
+  double w_kb_facts = 0.20;      // declarative world facts
+  double w_kb_qa = 0.14;         // KB question/answer pairs
+  double w_routines = 0.06;      // routine stories
+  double w_colors = 0.05;        // color facts + popular misconceptions
+  double w_instructions = 0.05;  // dolly/alpaca-style instruction documents
+  double myth_rate = 0.3;        // share of color docs that state the misconception
+
+  std::uint64_t hash() const;
+};
+
+// A flat token stream of <bos> doc <eos> documents.
+std::vector<TokenId> build_pretraining_stream(const World& world,
+                                              const CorpusConfig& config);
+
+// Deterministic held-out slice (different seed) used as the representative
+// dataset D for the pruning metrics (Eq. 1). Returns `n_samples` sequences of
+// exactly `seq_len` tokens.
+std::vector<std::vector<TokenId>> build_calibration_set(const World& world,
+                                                        std::int64_t n_samples,
+                                                        std::int64_t seq_len,
+                                                        std::uint64_t seed);
+
+}  // namespace sdd::data

@@ -1,0 +1,187 @@
+#include "data/evalset.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+
+#include "data/math_gen.hpp"
+
+namespace sdd::data {
+namespace {
+
+constexpr std::int64_t kFewshotPoolSize = 8;
+
+std::vector<TokenId> encode_context(const Vocab& vocab, const std::string& question) {
+  std::vector<TokenId> ids = vocab.encode(question);
+  ids.push_back(vocab.sep());
+  return ids;
+}
+
+// Sample `n` distinct distractors from `pool`, excluding `correct`.
+std::vector<std::string> sample_distractors(Rng& rng,
+                                            const std::vector<std::string>& pool,
+                                            const std::string& correct,
+                                            std::size_t n) {
+  std::vector<std::string> candidates;
+  for (const std::string& word : pool) {
+    if (word != correct) candidates.push_back(word);
+  }
+  if (candidates.size() < n) {
+    throw std::logic_error("sample_distractors: pool too small");
+  }
+  rng.shuffle(candidates);
+  candidates.resize(n);
+  return candidates;
+}
+
+McItem assemble_item(const Vocab& vocab, Rng& rng, const std::string& question,
+                     const std::string& correct_option,
+                     std::vector<std::string> distractor_options) {
+  McItem item;
+  item.context = encode_context(vocab, question);
+  std::vector<std::string> all_options = std::move(distractor_options);
+  const std::size_t correct_slot = rng.index(all_options.size() + 1);
+  all_options.insert(all_options.begin() + static_cast<std::ptrdiff_t>(correct_slot),
+                     correct_option);
+  for (const std::string& option : all_options) {
+    item.options.push_back(vocab.encode(option));
+  }
+  item.correct = correct_slot;
+  return item;
+}
+
+McTask build_mc_task(std::string name, int default_shots, std::int64_t n_items,
+                     std::uint64_t seed,
+                     const std::function<McItem(Rng&)>& make_item) {
+  McTask task;
+  task.name = std::move(name);
+  task.default_shots = default_shots;
+  Rng rng{seed};
+  for (std::int64_t i = 0; i < kFewshotPoolSize; ++i) {
+    task.fewshot_pool.push_back(make_item(rng));
+  }
+  for (std::int64_t i = 0; i < n_items; ++i) {
+    task.items.push_back(make_item(rng));
+  }
+  return task;
+}
+
+}  // namespace
+
+McTask make_arc_task(const World& world, std::int64_t n_items, std::uint64_t seed) {
+  const Vocab& vocab = Vocab::instance();
+  return build_mc_task("arc_c", /*default_shots=*/3, n_items, seed, [&](Rng& rng) {
+    const CauseEffectFact& fact = rng.choice(world.cause_effects());
+    const std::string question =
+        "q : what happens when you " + fact.process + " " + fact.substance + " ?";
+    const std::string correct = "a : it " + fact.effect + " .";
+    std::vector<std::string> distractors;
+    for (const std::string& effect :
+         sample_distractors(rng, world.effect_pool(), fact.effect, 3)) {
+      distractors.push_back("a : it " + effect + " .");
+    }
+    return assemble_item(vocab, rng, question, correct, std::move(distractors));
+  });
+}
+
+McTask make_hellaswag_task(const World& world, std::int64_t n_items,
+                           std::uint64_t seed) {
+  const Vocab& vocab = Vocab::instance();
+  return build_mc_task("hellaswag", /*default_shots=*/3, n_items, seed, [&](Rng& rng) {
+    const Routine& routine = rng.choice(world.routines());
+    const std::size_t i = rng.index(routine.actions.size() - 1);
+    const std::string question = "q : " + routine.actor + " " + routine.actions[i] +
+                                 " . then what does " + routine.actor + " do ?";
+    const std::string& next_action = routine.actions[i + 1];
+    const std::string correct = "a : " + routine.actor + " " + next_action + " .";
+    std::vector<std::string> distractors;
+    for (const std::string& action :
+         sample_distractors(rng, world.action_pool(), next_action, 3)) {
+      distractors.push_back("a : " + routine.actor + " " + action + " .");
+    }
+    return assemble_item(vocab, rng, question, correct, std::move(distractors));
+  });
+}
+
+McTask make_truthfulqa_task(const World& world, std::int64_t n_items,
+                            std::uint64_t seed) {
+  const Vocab& vocab = Vocab::instance();
+  return build_mc_task("truthfulqa", /*default_shots=*/0, n_items, seed,
+                       [&](Rng& rng) {
+    const ColorFact& fact = rng.choice(world.color_facts());
+    const std::string question = "q : what color is the " + fact.thing + " really ?";
+    const std::string correct = "a : the " + fact.thing + " is " + fact.color + " .";
+    // The popular misconception is always present among the distractors.
+    std::vector<std::string> distractors;
+    distractors.push_back("a : the " + fact.thing + " is " + fact.popular_error + " .");
+    std::vector<std::string> pool;
+    for (const std::string& color : world.color_pool()) {
+      if (color != fact.color && color != fact.popular_error) pool.push_back(color);
+    }
+    for (const std::string& color : sample_distractors(rng, pool, fact.color, 2)) {
+      distractors.push_back("a : the " + fact.thing + " is " + color + " .");
+    }
+    return assemble_item(vocab, rng, question, correct, std::move(distractors));
+  });
+}
+
+McTask make_mmlu_task(const World& world, std::int64_t n_items, std::uint64_t seed) {
+  const Vocab& vocab = Vocab::instance();
+  return build_mc_task("mmlu", /*default_shots=*/3, n_items, seed, [&](Rng& rng) {
+    const ClassificationFact& fact = rng.choice(world.classifications());
+    const std::string question =
+        "q : in " + fact.domain + " what class is " + fact.item + " ?";
+    const std::string correct = "a : " + fact.item + " is " + fact.klass + " .";
+    std::vector<std::string> distractors;
+    for (const std::string& klass :
+         sample_distractors(rng, world.class_pool(), fact.klass, 3)) {
+      distractors.push_back("a : " + fact.item + " is " + klass + " .");
+    }
+    return assemble_item(vocab, rng, question, correct, std::move(distractors));
+  });
+}
+
+McTask make_winogrande_task(const World& world, std::int64_t n_items,
+                            std::uint64_t seed) {
+  const Vocab& vocab = Vocab::instance();
+  return build_mc_task("winogrande", /*default_shots=*/3, n_items, seed,
+                       [&](Rng& rng) {
+    const std::string& animal = rng.choice(world.animals());
+    const std::string& sound = world.sound_of(animal);
+    const std::string question = "q : what does the " + animal + " say ?";
+    const std::string correct = "a : the " + animal + " " + sound + " .";
+    std::vector<std::string> distractors;
+    for (const std::string& other :
+         sample_distractors(rng, world.sound_pool(), sound, 1)) {
+      distractors.push_back("a : the " + animal + " " + other + " .");
+    }
+    return assemble_item(vocab, rng, question, correct, std::move(distractors));
+  });
+}
+
+GenTask make_gsm8k_eval_task(std::int64_t n_items, std::uint64_t seed) {
+  const Vocab& vocab = Vocab::instance();
+  GenTask task;
+  task.name = "gsm8k";
+  task.default_shots = 2;
+  Rng rng{seed};
+  MathGenOptions options;
+  options.min_steps = 1;
+  options.max_steps = 3;
+  const auto make_item = [&](Rng& item_rng) {
+    const MathProblem problem = make_math_problem(item_rng, options);
+    GenItem item;
+    item.prompt = encode_context(vocab, render_math_question(problem));
+    item.reference =
+        vocab.encode(render_math_solution(problem, SolutionStyle::kModel));
+    item.answer = problem.answer;
+    return item;
+  };
+  for (std::int64_t i = 0; i < kFewshotPoolSize; ++i) {
+    task.fewshot_pool.push_back(make_item(rng));
+  }
+  for (std::int64_t i = 0; i < n_items; ++i) task.items.push_back(make_item(rng));
+  return task;
+}
+
+}  // namespace sdd::data

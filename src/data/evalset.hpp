@@ -1,0 +1,54 @@
+// Evaluation task item builders — the µ analogues of the OpenLLM
+// Leaderboard v1 suite.
+//
+// Multiple-choice tasks follow lm-eval-harness conventions: a context string
+// (with k-shot exemplars prepended by the harness) and N answer
+// continuations scored by length-normalized log-likelihood. µGSM8k is
+// generative: greedy decode then extract the final number.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/vocab.hpp"
+#include "data/world.hpp"
+#include "util/rng.hpp"
+
+namespace sdd::data {
+
+struct McItem {
+  std::vector<TokenId> context;                 // <bos> ... <sep> ("a :" follows in options)
+  std::vector<std::vector<TokenId>> options;    // candidate continuations
+  std::size_t correct = 0;
+};
+
+struct McTask {
+  std::string name;
+  std::vector<McItem> items;          // scored items
+  std::vector<McItem> fewshot_pool;   // exemplars for k-shot prompts
+  int default_shots = 0;
+};
+
+struct GenItem {
+  std::vector<TokenId> prompt;        // question, ends with <sep>
+  std::vector<TokenId> reference;     // gold solution (for few-shot exemplars)
+  std::int64_t answer = 0;
+};
+
+struct GenTask {
+  std::string name;
+  std::vector<GenItem> items;
+  std::vector<GenItem> fewshot_pool;
+  int default_shots = 0;
+};
+
+// The six OpenLLM-v1 µ-tasks. `n_items` bounds the number of scored items.
+McTask make_arc_task(const World& world, std::int64_t n_items, std::uint64_t seed);
+McTask make_hellaswag_task(const World& world, std::int64_t n_items, std::uint64_t seed);
+McTask make_truthfulqa_task(const World& world, std::int64_t n_items, std::uint64_t seed);
+McTask make_mmlu_task(const World& world, std::int64_t n_items, std::uint64_t seed);
+McTask make_winogrande_task(const World& world, std::int64_t n_items, std::uint64_t seed);
+GenTask make_gsm8k_eval_task(std::int64_t n_items, std::uint64_t seed);
+
+}  // namespace sdd::data

@@ -1,0 +1,206 @@
+#include "data/kb_gen.hpp"
+
+#include <stdexcept>
+
+#include "data/vocab.hpp"
+
+namespace sdd::data {
+namespace {
+
+std::string num(std::int64_t value) { return std::to_string(value); }
+
+}  // namespace
+
+std::string render_fact_statement(const World& world, Rng& rng) {
+  switch (rng.uniform_int(0, 3)) {
+    case 0: {  // animal sound
+      const std::string& animal = rng.choice(world.animals());
+      const std::string& sound = world.sound_of(animal);
+      return rng.bernoulli(0.5) ? "the " + animal + " " + sound + " ."
+                                : "a " + animal + " " + sound + " .";
+    }
+    case 1: {  // cause/effect
+      const CauseEffectFact& fact = rng.choice(world.cause_effects());
+      return rng.bernoulli(0.5)
+                 ? "when you " + fact.process + " " + fact.substance + " it " +
+                       fact.effect + " ."
+                 : fact.process + " " + fact.substance + " and it " + fact.effect +
+                       " .";
+    }
+    case 2: {  // classification
+      const ClassificationFact& fact = rng.choice(world.classifications());
+      return rng.bernoulli(0.5)
+                 ? "in " + fact.domain + " " + fact.item + " is classified as " +
+                       fact.klass + " ."
+                 : fact.item + " belongs to class " + fact.klass + " in " +
+                       fact.domain + " .";
+    }
+    default: {  // routine fragment (adjacent action pair)
+      const Routine& routine = rng.choice(world.routines());
+      const std::size_t i = rng.index(routine.actions.size() - 1);
+      return routine.actor + " " + routine.actions[i] + " . then " + routine.actor +
+             " " + routine.actions[i + 1] + " .";
+    }
+  }
+}
+
+std::string render_routine_story(const Routine& routine) {
+  std::string text = routine.actor + " " + routine.actions[0] + " .";
+  for (std::size_t i = 1; i < routine.actions.size(); ++i) {
+    text += " then " + routine.actor + " " + routine.actions[i] + " .";
+  }
+  return text;
+}
+
+std::string render_color_statement(const World& world, Rng& rng, double myth_rate) {
+  const ColorFact& fact = rng.choice(world.color_facts());
+  if (rng.bernoulli(myth_rate)) {
+    return "people say the " + fact.thing + " is " + fact.popular_error + " .";
+  }
+  return "fact : the " + fact.thing + " is " + fact.color + " .";
+}
+
+QaPair render_kb_qa(const World& world, Rng& rng) {
+  switch (rng.uniform_int(0, 4)) {
+    case 0: {
+      const std::string& animal = rng.choice(world.animals());
+      return QaPair{"q : what does the " + animal + " say ?",
+                    "a : the " + animal + " " + world.sound_of(animal) + " ."};
+    }
+    case 1: {
+      const CauseEffectFact& fact = rng.choice(world.cause_effects());
+      return QaPair{
+          "q : what happens when you " + fact.process + " " + fact.substance + " ?",
+          "a : it " + fact.effect + " ."};
+    }
+    case 2: {
+      const ClassificationFact& fact = rng.choice(world.classifications());
+      return QaPair{"q : in " + fact.domain + " what class is " + fact.item + " ?",
+                    "a : " + fact.item + " is " + fact.klass + " ."};
+    }
+    case 3: {
+      const ColorFact& fact = rng.choice(world.color_facts());
+      return QaPair{"q : what color is the " + fact.thing + " really ?",
+                    "a : the " + fact.thing + " is " + fact.color + " ."};
+    }
+    default: {
+      const Routine& routine = rng.choice(world.routines());
+      const std::size_t i = rng.index(routine.actions.size() - 1);
+      return QaPair{"q : " + routine.actor + " " + routine.actions[i] +
+                        " . then what does " + routine.actor + " do ?",
+                    "a : " + routine.actor + " " + routine.actions[i + 1] + " ."};
+    }
+  }
+}
+
+DollyExample make_dolly_example(const World& world, Rng& rng) {
+  DollyExample example;
+  switch (rng.uniform_int(0, 2)) {
+    case 0: {
+      const std::string& animal = rng.choice(world.animals());
+      const std::string& sound = world.sound_of(animal);
+      example.question = "q : tell me about the " + animal + " ?";
+      example.response_model = "a : the " + animal + " " + sound + " .";
+      example.response_human = "it is an animal and it " + sound + " now";
+      break;
+    }
+    case 1: {
+      const CauseEffectFact& fact = rng.choice(world.cause_effects());
+      example.question =
+          "q : tell me what happens when you " + fact.process + " " + fact.substance +
+          " ?";
+      example.response_model = "a : it " + fact.effect + " .";
+      example.response_human =
+          "the " + fact.substance + " " + fact.effect + " because you " + fact.process +
+          " it";
+      break;
+    }
+    default: {
+      const ColorFact& fact = rng.choice(world.color_facts());
+      example.question = "q : tell me the color of the " + fact.thing + " ?";
+      example.response_model = "a : the " + fact.thing + " is " + fact.color + " .";
+      example.response_human = fact.color + " is the color of the " + fact.thing;
+      break;
+    }
+  }
+  return example;
+}
+
+AlpacaExample make_alpaca_example(const World& world, Rng& rng) {
+  AlpacaExample example;
+  const auto kind = static_cast<AlpacaKind>(rng.uniform_int(0, 4));
+  example.kind = kind;
+  switch (kind) {
+    case AlpacaKind::kRepeat: {
+      const std::string& word = rng.choice(world.animals());
+      const std::int64_t times = rng.uniform_int(2, 4);
+      std::string payload;
+      for (std::int64_t i = 0; i < times; ++i) {
+        if (i > 0) payload += ' ';
+        payload += word;
+      }
+      example.question = "q : repeat the word " + word + " " + num(times) + " times ?";
+      example.response_model = "a : " + payload + " .";
+      example.response_human = "now : " + payload;
+      example.answer_key = payload;
+      break;
+    }
+    case AlpacaKind::kCountWords: {
+      const std::int64_t count = rng.uniform_int(2, 5);
+      std::string items;
+      for (std::int64_t i = 0; i < count; ++i) {
+        if (i > 0) items += ' ';
+        items += rng.choice(world.effect_pool());
+      }
+      example.question = "q : count the words : " + items + " ?";
+      example.response_model = "a : ans " + num(count);
+      example.response_human = "the answer is " + num(count);
+      example.answer_key = num(count);
+      example.numeric = true;
+      example.numeric_answer = count;
+      break;
+    }
+    case AlpacaKind::kColorOf: {
+      const ColorFact& fact = rng.choice(world.color_facts());
+      example.question = "q : list the color of the " + fact.thing + " ?";
+      example.response_model = "a : the " + fact.thing + " is " + fact.color + " .";
+      example.response_human = "it is really " + fact.color;
+      example.answer_key = fact.color;
+      break;
+    }
+    case AlpacaKind::kFirstWord:
+    case AlpacaKind::kLastWord: {
+      const std::int64_t count = rng.uniform_int(3, 5);
+      std::vector<std::string> items;
+      for (std::int64_t i = 0; i < count; ++i) {
+        items.push_back(rng.choice(world.class_pool()));
+      }
+      std::string list;
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i > 0) list += ' ';
+        list += items[i];
+      }
+      const bool first = kind == AlpacaKind::kFirstWord;
+      const std::string& key = first ? items.front() : items.back();
+      example.question = std::string{"q : say the "} + (first ? "first" : "last") +
+                         " word : " + list + " ?";
+      example.response_model = "a : " + key + " .";
+      example.response_human = "it is " + key;
+      example.answer_key = key;
+      break;
+    }
+  }
+  return example;
+}
+
+std::string render_alpaca_document(const World& world, Rng& rng) {
+  const AlpacaExample example = make_alpaca_example(world, rng);
+  return example.question + " <sep> " + example.response_model;
+}
+
+std::string render_dolly_document(const World& world, Rng& rng) {
+  const DollyExample example = make_dolly_example(world, rng);
+  return example.question + " <sep> " + example.response_model;
+}
+
+}  // namespace sdd::data

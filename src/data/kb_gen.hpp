@@ -1,0 +1,69 @@
+// Renderers over the World knowledge base: pre-training fact statements,
+// question/answer pairs, routine stories, and the µDolly / µAlpaca
+// instruction grammars.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/world.hpp"
+#include "util/rng.hpp"
+
+namespace sdd::data {
+
+enum class ResponseStyle { kModel, kHuman };
+
+// ---- pre-training documents ------------------------------------------------
+
+// One declarative statement of a random fact (varied templates).
+std::string render_fact_statement(const World& world, Rng& rng);
+
+// A full routine story: "tom opens . then tom walks . then tom sits . ..."
+std::string render_routine_story(const Routine& routine);
+
+// "fact : the sky is blue ." or (with probability `myth_rate`)
+// "people say the sky is <popular_error> ." — the misconception exposure that
+// makes µTruthfulQA non-trivial.
+std::string render_color_statement(const World& world, Rng& rng, double myth_rate);
+
+// A QA document in the model's house style ("q : ... ? <sep> a : ... .").
+// Returns question and answer separately so callers can also build prompts.
+struct QaPair {
+  std::string question;  // "q : what does the cat say ?"
+  std::string answer;    // "a : the cat meows ."
+};
+QaPair render_kb_qa(const World& world, Rng& rng);
+
+// ---- µDolly (open-domain instruction data) ---------------------------------
+
+struct DollyExample {
+  std::string question;        // "q : tell me about the cat ?"
+  std::string response_model;  // house-style response
+  std::string response_human;  // divergent human-style response
+};
+DollyExample make_dolly_example(const World& world, Rng& rng);
+
+// ---- µAlpaca (verifiable instruction following) -----------------------------
+
+enum class AlpacaKind { kRepeat, kCountWords, kColorOf, kFirstWord, kLastWord };
+
+struct AlpacaExample {
+  AlpacaKind kind = AlpacaKind::kRepeat;
+  std::string question;
+  std::string response_model;
+  std::string response_human;
+  // Verification key: the exact payload tokens that must appear in a correct
+  // response (e.g. "gold gold gold" or "3" or "blue").
+  std::string answer_key;
+  bool numeric = false;          // answer_key is a number (Extract by last number)
+  std::int64_t numeric_answer = 0;
+};
+AlpacaExample make_alpaca_example(const World& world, Rng& rng);
+
+// Instruction statement documents so the base model learns these formats
+// during pre-training (in house style).
+std::string render_alpaca_document(const World& world, Rng& rng);
+std::string render_dolly_document(const World& world, Rng& rng);
+
+}  // namespace sdd::data

@@ -1,0 +1,165 @@
+#include "data/math_gen.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "data/vocab.hpp"
+
+namespace sdd::data {
+namespace {
+
+const std::vector<std::string> kPeople = {"tom", "sam", "mia", "leo", "ana", "max",
+                                          "eva", "ben", "zoe", "kai", "lily", "rex"};
+const std::vector<std::string> kObjects = {"apples", "coins",  "books",  "pens",
+                                           "cards",  "shells", "stones", "stars"};
+const std::vector<std::string> kGainVerbs = {"buys", "finds", "gets", "makes"};
+const std::vector<std::string> kLossVerbs = {"loses", "eats", "gives", "sells"};
+
+std::string num(std::int64_t value) { return std::to_string(value); }
+
+}  // namespace
+
+MathProblem make_math_problem(Rng& rng, const MathGenOptions& options) {
+  if (options.min_steps < 1 || options.max_steps < options.min_steps) {
+    throw std::invalid_argument("make_math_problem: bad step bounds");
+  }
+  MathProblem problem;
+  problem.person = rng.choice(kPeople);
+  problem.object = rng.choice(kObjects);
+  problem.start = rng.uniform_int(2, 10);
+
+  const auto n_steps =
+      static_cast<int>(rng.uniform_int(options.min_steps, options.max_steps));
+  std::int64_t value = problem.start;
+  for (int s = 0; s < n_steps; ++s) {
+    MathStep step;
+    step.before = value;
+    // Pick an op that keeps the running value in [0, 99].
+    for (int attempt = 0;; ++attempt) {
+      // Operands stay small (single-digit-ish) so a sub-million-parameter
+      // model can actually acquire the arithmetic tables from the corpus;
+      // multi-step difficulty comes from chaining, as in GSM8k.
+      const std::int64_t pick = rng.uniform_int(0, 9);
+      if (pick < 4) {  // add
+        const std::int64_t operand = rng.uniform_int(2, 10);
+        if (value + operand <= 48) {
+          step.op = MathOp::kAdd;
+          step.operand = operand;
+          step.after = value + operand;
+          break;
+        }
+      } else if (pick < 8) {  // sub
+        if (value >= 2) {
+          const std::int64_t operand =
+              rng.uniform_int(1, std::min<std::int64_t>(10, value - 1));
+          step.op = MathOp::kSub;
+          step.operand = operand;
+          step.after = value - operand;
+          break;
+        }
+      } else {  // double
+        if (2 * value <= 48) {
+          step.op = MathOp::kDouble;
+          step.operand = 0;
+          step.after = 2 * value;
+          break;
+        }
+      }
+      if (attempt > 64) {  // pathological value; fall back to subtracting 1
+        step.op = MathOp::kSub;
+        step.operand = 1;
+        step.after = value - 1;
+        break;
+      }
+    }
+    value = step.after;
+    problem.steps.push_back(step);
+  }
+  problem.answer = value;
+  return problem;
+}
+
+std::string render_math_question(const MathProblem& problem) {
+  std::string text = "q : " + problem.person + " has " + num(problem.start) + " " +
+                     problem.object + " .";
+  // Deterministic verb choice keyed on step values keeps rendering a pure
+  // function of the problem.
+  for (const MathStep& step : problem.steps) {
+    switch (step.op) {
+      case MathOp::kAdd: {
+        const std::string& verb =
+            kGainVerbs[static_cast<std::size_t>(step.operand) % kGainVerbs.size()];
+        text += " " + problem.person + " " + verb + " " + num(step.operand) +
+                " more " + problem.object + " .";
+        break;
+      }
+      case MathOp::kSub: {
+        const std::string& verb =
+            kLossVerbs[static_cast<std::size_t>(step.operand) % kLossVerbs.size()];
+        text += " " + problem.person + " " + verb + " " + num(step.operand) + " " +
+                problem.object + " .";
+        break;
+      }
+      case MathOp::kDouble:
+        text += " then " + problem.person + " makes double the " + problem.object +
+                " .";
+        break;
+    }
+  }
+  text += " how many " + problem.object + " does " + problem.person + " have ?";
+  return text;
+}
+
+std::string render_math_solution(const MathProblem& problem, SolutionStyle style) {
+  std::string text;
+  const auto equation = [](const MathStep& step) {
+    switch (step.op) {
+      case MathOp::kAdd:
+        return num(step.before) + " + " + num(step.operand) + " = " + num(step.after);
+      case MathOp::kSub:
+        return num(step.before) + " - " + num(step.operand) + " = " + num(step.after);
+      case MathOp::kDouble:
+        return num(step.before) + " * 2 = " + num(step.after);
+    }
+    return std::string{};
+  };
+
+  switch (style) {
+    case SolutionStyle::kModel:
+      text = "a :";
+      for (std::size_t s = 0; s < problem.steps.size(); ++s) {
+        text += s == 0 ? " we compute " : " then ";
+        text += equation(problem.steps[s]);
+        text += " .";
+      }
+      text += " ans " + num(problem.answer);
+      break;
+    case SolutionStyle::kHuman:
+      for (std::size_t s = 0; s < problem.steps.size(); ++s) {
+        if (s > 0) text += " ; ";
+        text += equation(problem.steps[s]);
+      }
+      text += " ; so the answer is " + num(problem.answer);
+      break;
+    case SolutionStyle::kHumanAlt:
+      for (std::size_t s = 0; s < problem.steps.size(); ++s) {
+        text += "step : " + equation(problem.steps[s]) + " ; ";
+      }
+      text += "therefore the result is " + num(problem.answer);
+      break;
+  }
+  return text;
+}
+
+std::string render_equation_drill(Rng& rng) {
+  const std::int64_t a = rng.uniform_int(0, 40);
+  if (rng.bernoulli(0.5)) {
+    const std::int64_t b =
+        rng.uniform_int(0, std::min<std::int64_t>(10, Vocab::kMaxNumber - a));
+    return num(a) + " + " + num(b) + " = " + num(a + b);
+  }
+  const std::int64_t b = rng.uniform_int(0, std::min<std::int64_t>(10, a));
+  return num(a) + " - " + num(b) + " = " + num(a - b);
+}
+
+}  // namespace sdd::data

@@ -1,0 +1,61 @@
+// Multi-step arithmetic word-problem grammar (the µGSM8k / µOpenMathInstruct
+// substrate).
+//
+// A problem is a short story over a start quantity and 1-4 operations whose
+// intermediate results stay within the single-token number range [0, 99].
+// Solutions can be rendered in three surface styles:
+//   kModel    - the pre-training "house style"  ("we compute 3 + 4 = 7 . ans 7")
+//   kHuman    - the raw fine-tuning dataset style (µGSM8k)
+//   kHumanAlt - a second human style (µOpenMathInstruct)
+// The style gap between kModel and the human styles is what reproduces the
+// paper's distribution-shift / catastrophic-forgetting mechanism: standard
+// SFT trains the pruned model on a style the base model never produced,
+// while self-data distillation rewrites targets back into kModel style.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace sdd::data {
+
+enum class MathOp { kAdd, kSub, kDouble };
+
+struct MathStep {
+  MathOp op = MathOp::kAdd;
+  std::int64_t operand = 0;  // unused for kDouble
+  std::int64_t before = 0;
+  std::int64_t after = 0;
+};
+
+struct MathProblem {
+  std::string person;
+  std::string object;
+  std::int64_t start = 0;
+  std::vector<MathStep> steps;
+  std::int64_t answer = 0;
+};
+
+enum class SolutionStyle { kModel, kHuman, kHumanAlt };
+
+struct MathGenOptions {
+  int min_steps = 1;
+  int max_steps = 3;
+};
+
+MathProblem make_math_problem(Rng& rng, const MathGenOptions& options = {});
+
+// "q : tom has 7 apples . tom buys 5 more apples . how many apples does tom
+//  have ?"
+std::string render_math_question(const MathProblem& problem);
+
+// Chain-of-thought solution ending in an extractable final number.
+std::string render_math_solution(const MathProblem& problem, SolutionStyle style);
+
+// Bare equation drill ("7 + 5 = 12") used to teach arithmetic tables during
+// pre-training.
+std::string render_equation_drill(Rng& rng);
+
+}  // namespace sdd::data

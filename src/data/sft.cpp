@@ -1,0 +1,154 @@
+#include "data/sft.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "data/kb_gen.hpp"
+#include "data/math_gen.hpp"
+
+namespace sdd::data {
+namespace {
+
+std::vector<TokenId> encode_prompt(const Vocab& vocab, const std::string& question) {
+  std::vector<TokenId> ids;
+  ids.push_back(vocab.bos());
+  const std::vector<TokenId> body = vocab.encode(question);
+  ids.insert(ids.end(), body.begin(), body.end());
+  ids.push_back(vocab.sep());
+  return ids;
+}
+
+std::vector<TokenId> encode_target(const Vocab& vocab, const std::string& response) {
+  std::vector<TokenId> ids = vocab.encode(response);
+  ids.push_back(vocab.eos());
+  return ids;
+}
+
+SftDataset make_math_family(const World& /*world*/, std::int64_t n, std::uint64_t seed,
+                            TaskFamily family, SolutionStyle style,
+                            const MathGenOptions& gen, const std::string& name) {
+  const Vocab& vocab = Vocab::instance();
+  SftDataset dataset;
+  dataset.name = name;
+  dataset.family = family;
+  dataset.examples.reserve(static_cast<std::size_t>(n));
+  Rng rng{seed};
+  for (std::int64_t i = 0; i < n; ++i) {
+    const MathProblem problem = make_math_problem(rng, gen);
+    SftExample example;
+    example.prompt = encode_prompt(vocab, render_math_question(problem));
+    example.target = encode_target(vocab, render_math_solution(problem, style));
+    example.extract = ExtractKind::kNumeric;
+    example.numeric_answer = problem.answer;
+    dataset.examples.push_back(std::move(example));
+  }
+  return dataset;
+}
+
+}  // namespace
+
+std::uint64_t SftDataset::hash() const {
+  std::uint64_t h = fnv1a(name);
+  h = hash_combine(h, static_cast<std::uint64_t>(examples.size()));
+  for (const SftExample& example : examples) {
+    const auto hash_ids = [&h](const std::vector<TokenId>& ids) {
+      const auto* bytes = reinterpret_cast<const std::byte*>(ids.data());
+      h = hash_combine(h, fnv1a_bytes({bytes, ids.size() * sizeof(TokenId)}));
+    };
+    hash_ids(example.prompt);
+    hash_ids(example.target);
+    h = hash_combine(h, static_cast<std::uint64_t>(example.numeric_answer));
+  }
+  return h;
+}
+
+SftDataset make_gsm8k_dataset(const World& world, std::int64_t n, std::uint64_t seed) {
+  MathGenOptions gen;
+  gen.min_steps = 1;
+  gen.max_steps = 3;
+  return make_math_family(world, n, seed, TaskFamily::kGsm8k, SolutionStyle::kHuman,
+                          gen, "gsm8k");
+}
+
+SftDataset make_openmathinstruct_dataset(const World& world, std::int64_t n,
+                                         std::uint64_t seed) {
+  MathGenOptions gen;
+  gen.min_steps = 1;
+  gen.max_steps = 4;  // broader difficulty mix than µGSM8k
+  return make_math_family(world, n, seed, TaskFamily::kOpenMathInstruct,
+                          SolutionStyle::kHumanAlt, gen, "openmathinstruct");
+}
+
+SftDataset make_dolly_dataset(const World& world, std::int64_t n, std::uint64_t seed) {
+  const Vocab& vocab = Vocab::instance();
+  SftDataset dataset;
+  dataset.name = "dolly";
+  dataset.family = TaskFamily::kDolly;
+  Rng rng{seed};
+  for (std::int64_t i = 0; i < n; ++i) {
+    const DollyExample source = make_dolly_example(world, rng);
+    SftExample example;
+    example.prompt = encode_prompt(vocab, source.question);
+    example.target = encode_target(vocab, source.response_human);
+    example.extract = ExtractKind::kOpenEnded;
+    dataset.examples.push_back(std::move(example));
+  }
+  return dataset;
+}
+
+SftDataset make_alpaca_dataset(const World& world, std::int64_t n, std::uint64_t seed) {
+  const Vocab& vocab = Vocab::instance();
+  SftDataset dataset;
+  dataset.name = "alpaca";
+  dataset.family = TaskFamily::kAlpaca;
+  Rng rng{seed};
+  for (std::int64_t i = 0; i < n; ++i) {
+    const AlpacaExample source = make_alpaca_example(world, rng);
+    SftExample example;
+    example.prompt = encode_prompt(vocab, source.question);
+    example.target = encode_target(vocab, source.response_human);
+    if (source.numeric) {
+      example.extract = ExtractKind::kNumeric;
+      example.numeric_answer = source.numeric_answer;
+    } else {
+      example.extract = ExtractKind::kContains;
+      example.answer_key = vocab.encode(source.answer_key);
+    }
+    dataset.examples.push_back(std::move(example));
+  }
+  return dataset;
+}
+
+SftDataset make_dataset_by_name(const World& world, const std::string& name,
+                                std::int64_t n, std::uint64_t seed) {
+  if (name == "gsm8k") return make_gsm8k_dataset(world, n, seed);
+  if (name == "openmathinstruct") return make_openmathinstruct_dataset(world, n, seed);
+  if (name == "dolly") return make_dolly_dataset(world, n, seed);
+  if (name == "alpaca") return make_alpaca_dataset(world, n, seed);
+  throw std::invalid_argument("unknown dataset name: " + name);
+}
+
+bool response_matches(const Vocab& vocab, const SftExample& example,
+                      std::span<const TokenId> response) {
+  switch (example.extract) {
+    case ExtractKind::kNumeric: {
+      const auto value = last_number(vocab, response);
+      return value.has_value() && *value == example.numeric_answer;
+    }
+    case ExtractKind::kContains: {
+      if (example.answer_key.empty()) return false;
+      if (response.size() < example.answer_key.size()) return false;
+      const auto it = std::search(response.begin(), response.end(),
+                                  example.answer_key.begin(),
+                                  example.answer_key.end());
+      return it != response.end();
+    }
+    case ExtractKind::kOpenEnded: {
+      // Reject degenerate rewrites: too short or no sentence structure at all.
+      return response.size() >= 3;
+    }
+  }
+  return false;
+}
+
+}  // namespace sdd::data

@@ -1,0 +1,62 @@
+// Supervised fine-tuning datasets (tokenized prompt/target pairs) and the
+// Extract() verification keys used by self-data distillation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/vocab.hpp"
+#include "data/world.hpp"
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+
+namespace sdd::data {
+
+enum class TaskFamily { kGsm8k, kOpenMathInstruct, kDolly, kAlpaca };
+
+// How a response is verified against the reference answer (paper Eq. for the
+// conditional selection rule in §2.2):
+//   kNumeric   - compare the last number token (math, counting)
+//   kContains  - response must contain the key token sequence (alpaca keys)
+//   kOpenEnded - no hard key; any well-formed rewrite is accepted
+enum class ExtractKind { kNumeric, kContains, kOpenEnded };
+
+struct SftExample {
+  std::vector<TokenId> prompt;  // <bos> q : ... ? <sep>
+  std::vector<TokenId> target;  // style-specific response ... <eos>
+  ExtractKind extract = ExtractKind::kNumeric;
+  std::int64_t numeric_answer = 0;      // kNumeric
+  std::vector<TokenId> answer_key;      // kContains
+};
+
+struct SftDataset {
+  std::string name;
+  TaskFamily family = TaskFamily::kGsm8k;
+  std::vector<SftExample> examples;
+
+  // Stable content hash for the experiment cache.
+  std::uint64_t hash() const;
+};
+
+// Dataset builders. `n` is the sample count; the paper's 8k/15k/50k sizes map
+// to 800/1500/2000 (see DESIGN.md scale table). Styles: µGSM8k and
+// µOpenMathInstruct use the two divergent human styles; µDolly and µAlpaca
+// use their human response variants.
+SftDataset make_gsm8k_dataset(const World& world, std::int64_t n, std::uint64_t seed);
+SftDataset make_openmathinstruct_dataset(const World& world, std::int64_t n,
+                                         std::uint64_t seed);
+SftDataset make_dolly_dataset(const World& world, std::int64_t n, std::uint64_t seed);
+SftDataset make_alpaca_dataset(const World& world, std::int64_t n, std::uint64_t seed);
+
+// Named lookup used by benches ("gsm8k", "openmathinstruct", "dolly",
+// "alpaca").
+SftDataset make_dataset_by_name(const World& world, const std::string& name,
+                                std::int64_t n, std::uint64_t seed);
+
+// Verify a candidate response against an example's key. This is Extract():
+// returns true when the response preserves the reference answer.
+bool response_matches(const Vocab& vocab, const SftExample& example,
+                      std::span<const TokenId> response);
+
+}  // namespace sdd::data

@@ -1,0 +1,153 @@
+#include "data/vocab.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace sdd::data {
+namespace {
+
+// Word lists shared by the task grammars in world.cpp / math_gen.cpp. Adding
+// a word here is the only way to grow the language.
+const char* const kSpecials[] = {"<pad>", "<bos>", "<eos>", "<sep>"};
+
+const char* const kWords[] = {
+    // punctuation & operators
+    ".", ",", "?", ";", ":", "+", "-", "*", "=",
+    // prompt markers
+    "q", "a", "ans",
+    // math narrative
+    "has", "had", "buys", "gives", "loses", "finds", "eats", "makes", "sells",
+    "more", "each", "twice", "double", "now", "left", "total", "altogether",
+    "how", "many", "does", "do", "have", "we", "compute", "then", "so", "the",
+    "answer", "is", "step", "start", "with", "solve", "therefore", "result",
+    "thus", "final", "get", "gets",
+    // people
+    "tom", "sam", "mia", "leo", "ana", "max", "eva", "ben", "zoe", "kai",
+    "lily", "rex",
+    // countable objects
+    "apples", "coins", "books", "pens", "cards", "shells", "stones", "stars",
+    // animals & their sounds
+    "cat", "dog", "cow", "duck", "fox", "owl", "bee", "frog",
+    "meows", "barks", "moos", "quacks", "yips", "hoots", "buzzes", "croaks",
+    // science world: substances, processes, effects
+    "ice", "iron", "wood", "gold", "salt", "wax", "snow", "glass",
+    "heat", "cool", "strike", "soak",
+    "melts", "rusts", "burns", "shines", "dissolves", "hardens", "freezes",
+    "breaks", "bends", "cracks", "glows", "shatters",
+    // classification domains and classes
+    "chemistry", "biology", "physics", "history",
+    "metal", "liquid", "gas", "solid", "plant", "animal", "ancient", "modern",
+    "classified", "as", "in", "belongs", "class", "of",
+    // routine stories
+    "opens", "closes", "walks", "sits", "reads", "writes", "sleeps", "runs",
+    "jumps", "swims", "climbs", "rests", "cooks", "drinks", "sings", "paints",
+    "door", "down", "up", "out", "home", "away",
+    // colors and things
+    "sky", "grass", "sun", "blood", "coal", "cloud",
+    "blue", "green", "yellow", "red", "white", "black", "gray", "brown",
+    // truthfulness framing
+    "fact", "myth", "people", "say", "really", "what", "happens", "when",
+    "you", "it", "to", "about", "tell", "me", "true", "that",
+    // instructions (alpaca-style)
+    "repeat", "word", "times", "count", "words", "list", "color", "first",
+    "last", "reverse", "items", "letter", "begins",
+    // glue
+    "and", "an", "because", "was", "hungry", "tired", "happy", "big", "small",
+    "his", "her", "their", "they", "he", "she", "at", "on", "by",
+};
+
+}  // namespace
+
+Vocab::Vocab() {
+  const auto add = [this](std::string word) {
+    const TokenId id = static_cast<TokenId>(tokens_.size());
+    auto [it, inserted] = index_.emplace(std::move(word), id);
+    if (!inserted) throw std::logic_error("Vocab: duplicate word " + it->first);
+    tokens_.push_back(it->first);
+    return id;
+  };
+
+  pad_ = add(kSpecials[0]);
+  bos_ = add(kSpecials[1]);
+  eos_ = add(kSpecials[2]);
+  sep_ = add(kSpecials[3]);
+
+  first_number_ = static_cast<TokenId>(tokens_.size());
+  for (std::int64_t n = 0; n <= kMaxNumber; ++n) add(std::to_string(n));
+
+  for (const char* word : kWords) add(word);
+}
+
+const Vocab& Vocab::instance() {
+  static const Vocab vocab;
+  return vocab;
+}
+
+TokenId Vocab::id(std::string_view word) const {
+  const auto it = index_.find(std::string{word});
+  if (it == index_.end()) {
+    throw std::invalid_argument("Vocab: unknown word '" + std::string{word} + "'");
+  }
+  return it->second;
+}
+
+std::optional<TokenId> Vocab::try_id(std::string_view word) const {
+  const auto it = index_.find(std::string{word});
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& Vocab::word(TokenId id) const {
+  if (id < 0 || id >= size()) throw std::out_of_range("Vocab: bad token id");
+  return tokens_[static_cast<std::size_t>(id)];
+}
+
+std::vector<TokenId> Vocab::encode(std::string_view text) const {
+  std::vector<TokenId> ids;
+  std::istringstream stream{std::string{text}};
+  std::string word;
+  while (stream >> word) ids.push_back(id(word));
+  return ids;
+}
+
+std::string Vocab::decode(std::span<const TokenId> ids) const {
+  std::string text;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i > 0) text += ' ';
+    text += word(ids[i]);
+  }
+  return text;
+}
+
+TokenId Vocab::number_token(std::int64_t value) const {
+  if (value < 0 || value > kMaxNumber) {
+    throw std::out_of_range("Vocab: number out of range: " + std::to_string(value));
+  }
+  return first_number_ + static_cast<TokenId>(value);
+}
+
+std::optional<std::int64_t> Vocab::token_number(TokenId id) const {
+  if (id >= first_number_ && id < first_number_ + kMaxNumber + 1) {
+    return id - first_number_;
+  }
+  return std::nullopt;
+}
+
+std::string join_words(std::initializer_list<std::string_view> words) {
+  std::string text;
+  for (const std::string_view word : words) {
+    if (!text.empty()) text += ' ';
+    text += word;
+  }
+  return text;
+}
+
+std::optional<std::int64_t> last_number(const Vocab& vocab,
+                                        std::span<const TokenId> ids) {
+  for (std::size_t i = ids.size(); i > 0; --i) {
+    if (const auto value = vocab.token_number(ids[i - 1])) return value;
+  }
+  return std::nullopt;
+}
+
+}  // namespace sdd::data

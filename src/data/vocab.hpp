@@ -1,0 +1,66 @@
+// Closed word-level vocabulary for the synthetic language.
+//
+// Every dataset, prompt, and generation in this repository is built from this
+// fixed vocabulary, which plays the role of the paper's tokenizer. Unknown
+// words throw, which turns template typos into immediate test failures
+// instead of silent <unk> degradation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace sdd::data {
+
+using TokenId = std::int32_t;
+
+class Vocab {
+ public:
+  // The canonical vocabulary shared by all experiments (process-wide const).
+  static const Vocab& instance();
+
+  std::int64_t size() const { return static_cast<std::int64_t>(tokens_.size()); }
+
+  TokenId id(std::string_view word) const;             // throws on unknown words
+  std::optional<TokenId> try_id(std::string_view word) const;
+  const std::string& word(TokenId id) const;           // throws on bad id
+
+  // Encode a space-separated string. No normalization: callers build text
+  // from vocabulary words by construction.
+  std::vector<TokenId> encode(std::string_view text) const;
+  std::string decode(std::span<const TokenId> ids) const;
+
+  // Special tokens.
+  TokenId pad() const { return pad_; }
+  TokenId bos() const { return bos_; }
+  TokenId eos() const { return eos_; }
+  TokenId sep() const { return sep_; }
+
+  // Numbers 0..99 are single tokens; these helpers map between the numeric
+  // value and its token id.
+  TokenId number_token(std::int64_t value) const;      // throws outside [0, 99]
+  std::optional<std::int64_t> token_number(TokenId id) const;
+  static constexpr std::int64_t kMaxNumber = 99;
+
+ private:
+  Vocab();
+
+  std::vector<std::string> tokens_;
+  std::unordered_map<std::string, TokenId> index_;
+  TokenId pad_ = 0, bos_ = 0, eos_ = 0, sep_ = 0;
+  TokenId first_number_ = 0;  // token id of "0"
+};
+
+// Join vocabulary words with single spaces (template building helper).
+std::string join_words(std::initializer_list<std::string_view> words);
+
+// The numeric value of the last number token in `ids`, if any. This is the
+// Extract() primitive for math-style tasks.
+std::optional<std::int64_t> last_number(const Vocab& vocab,
+                                        std::span<const TokenId> ids);
+
+}  // namespace sdd::data

@@ -1,0 +1,112 @@
+#include "data/world.hpp"
+
+#include <stdexcept>
+
+#include "data/vocab.hpp"
+
+namespace sdd::data {
+namespace {
+
+const std::vector<std::string> kAnimals = {"cat", "dog",  "cow", "duck",
+                                           "fox", "owl", "bee", "frog"};
+const std::vector<std::string> kSounds = {"meows", "barks",  "moos",   "quacks",
+                                          "yips",  "hoots", "buzzes", "croaks"};
+const std::vector<std::string> kSubstances = {"ice",  "iron", "wood", "gold",
+                                              "salt", "wax",  "snow", "glass"};
+const std::vector<std::string> kProcesses = {"heat", "cool", "strike", "soak"};
+const std::vector<std::string> kEffects = {
+    "melts",   "rusts",   "burns",  "shines", "dissolves", "hardens",
+    "freezes", "breaks",  "bends",  "cracks", "glows",     "shatters"};
+const std::vector<std::string> kDomains = {"chemistry", "biology", "physics",
+                                           "history"};
+const std::vector<std::string> kClasses = {"metal", "liquid", "gas",     "solid",
+                                           "plant", "animal", "ancient", "modern"};
+const std::vector<std::string> kActors = {"tom", "sam", "mia", "leo", "ana", "max"};
+const std::vector<std::string> kActions = {
+    "opens", "closes", "walks", "sits",   "reads",  "writes", "sleeps", "runs",
+    "jumps", "swims",  "climbs", "rests", "cooks",  "drinks", "sings",  "paints"};
+const std::vector<std::string> kThings = {"sky", "grass", "sun", "blood", "coal",
+                                          "cloud", "snow", "gold"};
+const std::vector<std::string> kColors = {"blue",  "green", "yellow", "red",
+                                          "white", "black", "gray",   "brown"};
+
+// Sanity check that every world word exists in the vocabulary; this runs once
+// per world and converts grammar drift into a loud failure.
+void check_in_vocab(const std::vector<std::string>& words) {
+  const Vocab& vocab = Vocab::instance();
+  for (const std::string& word : words) (void)vocab.id(word);
+}
+
+}  // namespace
+
+World::World(std::uint64_t seed) : seed_{seed} {
+  check_in_vocab(kAnimals);
+  check_in_vocab(kSounds);
+  check_in_vocab(kSubstances);
+  check_in_vocab(kProcesses);
+  check_in_vocab(kEffects);
+  check_in_vocab(kDomains);
+  check_in_vocab(kClasses);
+  check_in_vocab(kActors);
+  check_in_vocab(kActions);
+  check_in_vocab(kThings);
+  check_in_vocab(kColors);
+
+  Rng rng{seed};
+
+  // Animal sounds: a seeded bijection between animals and sounds.
+  animals_ = kAnimals;
+  sound_pool_ = kSounds;
+  animal_sounds_ = kSounds;
+  rng.shuffle(animal_sounds_);
+
+  // Cause/effect: every (process, substance) pair maps to one effect, chosen
+  // so that the same substance reacts differently to different processes.
+  effect_pool_ = kEffects;
+  for (const std::string& process : kProcesses) {
+    std::vector<std::string> effects = kEffects;
+    rng.shuffle(effects);
+    for (std::size_t i = 0; i < kSubstances.size(); ++i) {
+      cause_effects_.push_back(CauseEffectFact{process, kSubstances[i], effects[i]});
+    }
+  }
+
+  // Domain classification: each domain classifies every substance/animal-like
+  // item into one of two domain-specific classes.
+  class_pool_ = kClasses;
+  for (std::size_t d = 0; d < kDomains.size(); ++d) {
+    const std::string& class_a = kClasses[2 * d];
+    const std::string& class_b = kClasses[2 * d + 1];
+    for (const std::string& item : kSubstances) {
+      const std::string& klass = rng.bernoulli(0.5) ? class_a : class_b;
+      classifications_.push_back(ClassificationFact{kDomains[d], item, klass});
+    }
+  }
+
+  // Routines: each actor has a fixed 4-action daily routine. Continuations
+  // are predictable for a model that learned the routine.
+  action_pool_ = kActions;
+  for (const std::string& actor : kActors) {
+    std::vector<std::string> actions = kActions;
+    rng.shuffle(actions);
+    actions.resize(4);
+    routines_.push_back(Routine{actor, std::move(actions)});
+  }
+
+  // Color facts with a designated popular misconception.
+  color_pool_ = kColors;
+  for (std::size_t i = 0; i < kThings.size(); ++i) {
+    std::vector<std::string> colors = kColors;
+    rng.shuffle(colors);
+    color_facts_.push_back(ColorFact{kThings[i], colors[0], colors[1]});
+  }
+}
+
+const std::string& World::sound_of(const std::string& animal) const {
+  for (std::size_t i = 0; i < animals_.size(); ++i) {
+    if (animals_[i] == animal) return animal_sounds_[i];
+  }
+  throw std::invalid_argument("World: unknown animal " + animal);
+}
+
+}  // namespace sdd::data

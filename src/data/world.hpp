@@ -1,0 +1,83 @@
+// The seeded synthetic knowledge base ("world") that plays the role of the
+// factual content of the paper's pre-training data.
+//
+// Every fact family below backs one of the µ-evaluation tasks:
+//   animal sounds            -> µWinogrande-style binary choice
+//   substance x process      -> µARC-C cause/effect multiple choice
+//   domain classification    -> µMMLU multiple choice
+//   daily routines           -> µHellaSwag continuation choice
+//   colors + misconceptions  -> µTruthfulQA
+// The same world instance generates the pre-training corpus, so eval items
+// test knowledge the base model actually acquired (and pruning can destroy).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace sdd::data {
+
+struct CauseEffectFact {
+  std::string process;    // e.g. "heat"
+  std::string substance;  // e.g. "ice"
+  std::string effect;     // e.g. "melts"
+};
+
+struct ClassificationFact {
+  std::string domain;  // e.g. "chemistry"
+  std::string item;    // e.g. "gold"
+  std::string klass;   // e.g. "metal"
+};
+
+struct Routine {
+  std::string actor;                 // e.g. "tom"
+  std::vector<std::string> actions;  // ordered verbs, length >= 3
+};
+
+struct ColorFact {
+  std::string thing;          // e.g. "sky"
+  std::string color;          // true color
+  std::string popular_error;  // the tempting wrong answer people "say"
+};
+
+class World {
+ public:
+  explicit World(std::uint64_t seed = 42);
+
+  const std::vector<std::string>& animals() const { return animals_; }
+  const std::string& sound_of(const std::string& animal) const;
+
+  const std::vector<CauseEffectFact>& cause_effects() const { return cause_effects_; }
+  const std::vector<ClassificationFact>& classifications() const {
+    return classifications_;
+  }
+  const std::vector<Routine>& routines() const { return routines_; }
+  const std::vector<ColorFact>& color_facts() const { return color_facts_; }
+
+  // All effect words / class words (used as distractor pools).
+  const std::vector<std::string>& effect_pool() const { return effect_pool_; }
+  const std::vector<std::string>& class_pool() const { return class_pool_; }
+  const std::vector<std::string>& sound_pool() const { return sound_pool_; }
+  const std::vector<std::string>& action_pool() const { return action_pool_; }
+  const std::vector<std::string>& color_pool() const { return color_pool_; }
+
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::uint64_t seed_;
+  std::vector<std::string> animals_;
+  std::vector<std::string> sound_pool_;
+  std::vector<std::string> animal_sounds_;  // parallel to animals_
+  std::vector<CauseEffectFact> cause_effects_;
+  std::vector<ClassificationFact> classifications_;
+  std::vector<Routine> routines_;
+  std::vector<ColorFact> color_facts_;
+  std::vector<std::string> effect_pool_;
+  std::vector<std::string> class_pool_;
+  std::vector<std::string> action_pool_;
+  std::vector<std::string> color_pool_;
+};
+
+}  // namespace sdd::data

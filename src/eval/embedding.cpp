@@ -1,0 +1,113 @@
+#include "eval/embedding.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "eval/harness.hpp"
+
+namespace sdd::eval {
+
+std::vector<float> sentence_embedding(const nn::TransformerLM& embedder,
+                                      std::span<const data::TokenId> ids) {
+  if (ids.empty()) {
+    // Degenerate generation: embed the <eos> token alone.
+    const std::vector<data::TokenId> fallback{data::Vocab::instance().eos()};
+    return sentence_embedding(embedder, fallback);
+  }
+  NoGradGuard no_grad;
+  const std::vector<data::TokenId> tokens{ids.begin(), ids.end()};
+  const auto states = embedder.hidden_states(
+      tokens, /*batch=*/1, static_cast<std::int64_t>(tokens.size()));
+  const std::vector<float>& last = states.back();
+  const std::int64_t channels = embedder.config().d_model;
+  const auto positions = static_cast<std::int64_t>(tokens.size());
+
+  std::vector<float> pooled(static_cast<std::size_t>(channels), 0.0F);
+  for (std::int64_t p = 0; p < positions; ++p) {
+    for (std::int64_t c = 0; c < channels; ++c) {
+      pooled[static_cast<std::size_t>(c)] +=
+          last[static_cast<std::size_t>(p * channels + c)];
+    }
+  }
+  for (float& v : pooled) v /= static_cast<float>(positions);
+  return pooled;
+}
+
+double cosine_similarity(std::span<const float> a, std::span<const float> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("cosine_similarity: size mismatch");
+  }
+  double dot = 0.0, norm_a = 0.0, norm_b = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    norm_a += static_cast<double>(a[i]) * a[i];
+    norm_b += static_cast<double>(b[i]) * b[i];
+  }
+  const double denom = std::sqrt(norm_a) * std::sqrt(norm_b);
+  return denom > 0.0 ? dot / denom : 0.0;
+}
+
+SimilarityStats summarize(std::vector<double> values) {
+  SimilarityStats stats;
+  stats.values = std::move(values);
+  if (stats.values.empty()) return stats;
+  double total = 0.0;
+  stats.min = stats.values.front();
+  stats.max = stats.values.front();
+  for (double v : stats.values) {
+    total += v;
+    stats.min = std::min(stats.min, v);
+    stats.max = std::max(stats.max, v);
+  }
+  stats.mean = total / static_cast<double>(stats.values.size());
+  double sq = 0.0;
+  for (double v : stats.values) sq += (v - stats.mean) * (v - stats.mean);
+  stats.stddev = std::sqrt(sq / static_cast<double>(stats.values.size()));
+  return stats;
+}
+
+std::vector<double> SimilarityStats::histogram(int bins, double lo, double hi) const {
+  if (bins <= 0 || hi <= lo) throw std::invalid_argument("histogram: bad bins/range");
+  std::vector<double> counts(static_cast<std::size_t>(bins), 0.0);
+  for (double v : values) {
+    const double unit = (v - lo) / (hi - lo);
+    const int bin = std::clamp(static_cast<int>(unit * bins), 0, bins - 1);
+    counts[static_cast<std::size_t>(bin)] += 1.0;
+  }
+  if (!values.empty()) {
+    for (double& c : counts) c /= static_cast<double>(values.size());
+  }
+  return counts;
+}
+
+SimilarityStats embedding_shift(const nn::TransformerLM& test_model,
+                                const nn::TransformerLM& baseline,
+                                const nn::TransformerLM& embedder,
+                                const data::GenTask& task, std::int64_t max_items) {
+  const data::Vocab& vocab = data::Vocab::instance();
+  const auto n = std::min<std::int64_t>(
+      max_items, static_cast<std::int64_t>(task.items.size()));
+  std::vector<double> similarities;
+  similarities.reserve(static_cast<std::size_t>(n));
+
+  for (std::int64_t i = 0; i < n; ++i) {
+    const data::GenItem& item = task.items[static_cast<std::size_t>(i)];
+    std::vector<data::TokenId> prompt;
+    prompt.push_back(vocab.bos());
+    prompt.insert(prompt.end(), item.prompt.begin(), item.prompt.end());
+
+    const std::vector<data::TokenId> test_response =
+        answer_generative(test_model, prompt);
+    const std::vector<data::TokenId> base_response =
+        answer_generative(baseline, prompt);
+    const std::vector<float> test_embedding =
+        sentence_embedding(embedder, test_response);
+    const std::vector<float> base_embedding =
+        sentence_embedding(embedder, base_response);
+    similarities.push_back(cosine_similarity(test_embedding, base_embedding));
+  }
+  return summarize(std::move(similarities));
+}
+
+}  // namespace sdd::eval

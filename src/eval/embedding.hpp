@@ -1,0 +1,46 @@
+// Distribution-shift diagnostics (paper Figure 2 right, Appendix C).
+//
+// The paper embeds model generations with Sentence-BERT and measures their
+// cosine similarity to the baseline model's generations. Our stand-in
+// embedder is the unpruned baseline LM itself: a sentence embedding is the
+// mean-pooled final residual-stream state over the sentence tokens. The
+// comparison is relative (same embedder for every model), which is all the
+// figure needs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/evalset.hpp"
+#include "nn/transformer.hpp"
+
+namespace sdd::eval {
+
+std::vector<float> sentence_embedding(const nn::TransformerLM& embedder,
+                                      std::span<const data::TokenId> ids);
+
+double cosine_similarity(std::span<const float> a, std::span<const float> b);
+
+struct SimilarityStats {
+  std::vector<double> values;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  // Normalized histogram over [lo, hi].
+  std::vector<double> histogram(int bins, double lo = 0.0, double hi = 1.0) const;
+};
+
+SimilarityStats summarize(std::vector<double> values);
+
+// For up to `max_items` task prompts: generate with `test_model` and with
+// `baseline`, embed both generations with `embedder`, and record the cosine
+// similarity. Higher/tighter = less distribution shift.
+SimilarityStats embedding_shift(const nn::TransformerLM& test_model,
+                                const nn::TransformerLM& baseline,
+                                const nn::TransformerLM& embedder,
+                                const data::GenTask& task, std::int64_t max_items);
+
+}  // namespace sdd::eval

@@ -1,0 +1,47 @@
+#include "eval/flops.hpp"
+
+#include <stdexcept>
+
+namespace sdd::eval {
+
+std::int64_t analytic_param_count(const nn::ModelConfig& config) {
+  const std::int64_t d = config.d_model;
+  const std::int64_t per_layer = 4 * d * d        // wq, wk, wv, wo
+                                 + 3 * d * config.d_ff  // gate, up, down
+                                 + 2 * d;          // two RMSNorm gains
+  return config.vocab_size * d      // tied embedding / output head
+         + config.n_layers * per_layer
+         + d;                        // final RMSNorm
+}
+
+std::int64_t flops_per_token(const nn::ModelConfig& config, std::int64_t context_len) {
+  if (context_len <= 0) throw std::invalid_argument("flops_per_token: bad context");
+  const std::int64_t d = config.d_model;
+  // Per layer: 4 projections (2*d*d mult-adds each counted as 2 FLOPs),
+  // attention scores + mixing over the context, and the SwiGLU MLP.
+  const std::int64_t proj = 4 * 2 * d * d;
+  const std::int64_t attn = 2 * 2 * context_len * d;
+  const std::int64_t mlp = 3 * 2 * d * config.d_ff;
+  const std::int64_t per_layer = proj + attn + mlp;
+  const std::int64_t head = 2 * config.vocab_size * d;
+  return config.n_layers * per_layer + head;
+}
+
+ModelCost model_cost(const nn::ModelConfig& config, std::int64_t context_len) {
+  return ModelCost{analytic_param_count(config), flops_per_token(config, context_len)};
+}
+
+double param_savings(const nn::ModelConfig& base, const nn::ModelConfig& pruned) {
+  const auto base_params = static_cast<double>(analytic_param_count(base));
+  return (base_params - static_cast<double>(analytic_param_count(pruned))) /
+         base_params;
+}
+
+double flop_savings(const nn::ModelConfig& base, const nn::ModelConfig& pruned,
+                    std::int64_t context_len) {
+  const auto base_flops = static_cast<double>(flops_per_token(base, context_len));
+  return (base_flops - static_cast<double>(flops_per_token(pruned, context_len))) /
+         base_flops;
+}
+
+}  // namespace sdd::eval

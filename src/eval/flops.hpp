@@ -1,0 +1,31 @@
+// Parameter and FLOP accounting for the "Model Savings" column of Table 1
+// (paper reports parameter reduction and real-world FLOP savings per pruned
+// block size).
+#pragma once
+
+#include <cstdint>
+
+#include "nn/config.hpp"
+
+namespace sdd::eval {
+
+struct ModelCost {
+  std::int64_t params = 0;            // total trainable parameters
+  std::int64_t flops_per_token = 0;   // forward FLOPs for one token at a
+                                      // given context length (mults+adds)
+};
+
+// Analytic parameter count for a config (matches TransformerLM::param_count).
+std::int64_t analytic_param_count(const nn::ModelConfig& config);
+
+// Forward FLOPs per generated token with `context_len` tokens of KV context.
+std::int64_t flops_per_token(const nn::ModelConfig& config, std::int64_t context_len);
+
+ModelCost model_cost(const nn::ModelConfig& config, std::int64_t context_len);
+
+// Fractional savings of `pruned` relative to `base` (e.g. 0.1630 = 16.30%).
+double param_savings(const nn::ModelConfig& base, const nn::ModelConfig& pruned);
+double flop_savings(const nn::ModelConfig& base, const nn::ModelConfig& pruned,
+                    std::int64_t context_len);
+
+}  // namespace sdd::eval

@@ -1,0 +1,48 @@
+#include "eval/perplexity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sdd::eval {
+
+PerplexityResult perplexity(
+    const nn::TransformerLM& model,
+    const std::vector<std::vector<data::TokenId>>& sequences) {
+  if (sequences.empty()) throw std::invalid_argument("perplexity: no sequences");
+  NoGradGuard no_grad;
+
+  double total_nll = 0.0;
+  std::int64_t total_tokens = 0;
+  const std::int64_t vocab = model.config().vocab_size;
+
+  for (const std::vector<data::TokenId>& sequence : sequences) {
+    if (sequence.size() < 2) continue;
+    const auto seq = static_cast<std::int64_t>(sequence.size());
+    if (seq > model.config().max_seq_len) {
+      throw std::invalid_argument("perplexity: sequence exceeds context window");
+    }
+    const Tensor logits = model.forward(sequence, 1, seq);
+    const float* data = logits.data().data();
+    for (std::int64_t t = 0; t + 1 < seq; ++t) {
+      const float* row = data + t * vocab;
+      const float max_logit = *std::max_element(row, row + vocab);
+      double sum = 0.0;
+      for (std::int64_t v = 0; v < vocab; ++v) {
+        sum += std::exp(static_cast<double>(row[v] - max_logit));
+      }
+      const data::TokenId target = sequence[static_cast<std::size_t>(t + 1)];
+      total_nll -= static_cast<double>(row[target] - max_logit) - std::log(sum);
+      ++total_tokens;
+    }
+  }
+  if (total_tokens == 0) throw std::invalid_argument("perplexity: nothing to score");
+
+  PerplexityResult result;
+  result.tokens = total_tokens;
+  result.nll = total_nll / static_cast<double>(total_tokens);
+  result.perplexity = std::exp(result.nll);
+  return result;
+}
+
+}  // namespace sdd::eval

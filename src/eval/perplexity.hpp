@@ -1,0 +1,28 @@
+// Held-out perplexity diagnostics.
+//
+// Perplexity on the calibration slice is the cheapest global-quality signal
+// for a pruned/recovered model and complements the task suite (the paper's
+// related work routinely reports it alongside accuracy).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/vocab.hpp"
+#include "nn/transformer.hpp"
+
+namespace sdd::eval {
+
+struct PerplexityResult {
+  double nll = 0.0;         // mean negative log-likelihood per predicted token
+  double perplexity = 1.0;  // exp(nll)
+  std::int64_t tokens = 0;  // number of predictions scored
+};
+
+// Mean next-token NLL/perplexity over the given sequences (each scored with
+// one batched forward; sequences may have different lengths).
+PerplexityResult perplexity(const nn::TransformerLM& model,
+                            const std::vector<std::vector<data::TokenId>>& sequences);
+
+}  // namespace sdd::eval

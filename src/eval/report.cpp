@@ -1,0 +1,66 @@
+#include "eval/report.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "util/json.hpp"
+
+namespace sdd::eval {
+namespace {
+
+void write_scores(JsonWriter& json, const SuiteScores& scores) {
+  json.begin_object();
+  json.key("tasks").begin_object();
+  for (const auto& [task, accuracy] : scores.tasks) json.field(task, accuracy);
+  json.end_object();
+  json.field("average", scores.average);
+  json.end_object();
+}
+
+}  // namespace
+
+ExperimentReport::ExperimentReport(std::string experiment_id, std::string description)
+    : experiment_id_{std::move(experiment_id)},
+      description_{std::move(description)} {}
+
+void ExperimentReport::set_baseline(const SuiteScores& scores) {
+  baseline_ = scores;
+  has_baseline_ = true;
+}
+
+void ExperimentReport::add(ReportEntry entry) { entries_.push_back(std::move(entry)); }
+
+std::string ExperimentReport::to_json() const {
+  JsonWriter json;
+  json.begin_object();
+  json.field("experiment", experiment_id_);
+  json.field("description", description_);
+  if (has_baseline_) {
+    json.key("baseline");
+    write_scores(json, baseline_);
+  }
+  json.key("entries").begin_array();
+  for (const ReportEntry& entry : entries_) {
+    json.begin_object();
+    json.field("label", entry.model_label);
+    json.field("method", entry.method);
+    json.field("prune_block", entry.prune_block);
+    json.field("dataset", entry.dataset);
+    json.field("dataset_size", entry.dataset_size);
+    json.key("scores");
+    write_scores(json, entry.scores);
+    json.field("recovery_percent", entry.recovery_percent);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+void ExperimentReport::write(const std::filesystem::path& path) const {
+  std::ofstream out{path};
+  if (!out) throw std::runtime_error("ExperimentReport: cannot write " + path.string());
+  out << to_json() << '\n';
+}
+
+}  // namespace sdd::eval

@@ -1,0 +1,44 @@
+// Machine-readable experiment reports (lm-eval-harness-style JSON), so bench
+// results can be post-processed/plotted outside this repo.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "eval/suite.hpp"
+
+namespace sdd::eval {
+
+struct ReportEntry {
+  std::string model_label;           // e.g. "block3/self_data_distill/omi-1600"
+  std::string method;                // "no_ft", "sft", "self_data_distill", ...
+  std::int64_t prune_block = 0;
+  std::string dataset;
+  std::int64_t dataset_size = 0;
+  SuiteScores scores;
+  double recovery_percent = 0.0;
+};
+
+class ExperimentReport {
+ public:
+  ExperimentReport(std::string experiment_id, std::string description);
+
+  void set_baseline(const SuiteScores& scores);
+  void add(ReportEntry entry);
+
+  std::size_t size() const { return entries_.size(); }
+
+  // Serialized JSON document with metadata, baseline, and all entries.
+  std::string to_json() const;
+  void write(const std::filesystem::path& path) const;
+
+ private:
+  std::string experiment_id_;
+  std::string description_;
+  SuiteScores baseline_;
+  bool has_baseline_ = false;
+  std::vector<ReportEntry> entries_;
+};
+
+}  // namespace sdd::eval

@@ -1,0 +1,77 @@
+#include "eval/self_consistency.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "nn/decode.hpp"
+
+namespace sdd::eval {
+
+std::optional<std::int64_t> self_consistent_answer(
+    const nn::TransformerLM& model, std::span<const data::TokenId> prompt,
+    const SelfConsistencyOptions& options) {
+  NoGradGuard no_grad;
+  const data::Vocab& vocab = data::Vocab::instance();
+
+  std::map<std::int64_t, int> votes;
+  for (int s = 0; s < std::max(1, options.samples); ++s) {
+    nn::GenerateOptions gen;
+    gen.max_new_tokens = options.max_new_tokens;
+    gen.temperature = options.samples <= 1 ? 0.0F : options.temperature;
+    gen.stop_token = vocab.eos();
+    gen.seed = options.seed + static_cast<std::uint64_t>(s);
+    const std::vector<data::TokenId> response = nn::generate(model, prompt, gen);
+    if (const auto answer = data::last_number(vocab, response)) {
+      ++votes[*answer];
+    }
+  }
+  if (votes.empty()) return std::nullopt;
+  const auto best = std::max_element(
+      votes.begin(), votes.end(),
+      [](const auto& a, const auto& b) { return a.second < b.second; });
+  return best->first;
+}
+
+TaskResult evaluate_gen_self_consistent(const nn::TransformerLM& model,
+                                        const data::GenTask& task,
+                                        const SelfConsistencyOptions& options,
+                                        const EvalOptions& eval_options) {
+  NoGradGuard no_grad;
+  const data::Vocab& vocab = data::Vocab::instance();
+  const int shots =
+      eval_options.shots >= 0 ? eval_options.shots : task.default_shots;
+  const auto n = eval_options.max_items >= 0
+                     ? std::min<std::int64_t>(
+                           eval_options.max_items,
+                           static_cast<std::int64_t>(task.items.size()))
+                     : static_cast<std::int64_t>(task.items.size());
+  Rng rng{eval_options.seed};
+
+  TaskResult result;
+  result.task = task.name + "+self_consistency";
+  result.n_items = n;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const data::GenItem& item = task.items[static_cast<std::size_t>(i)];
+    std::vector<data::TokenId> prompt{vocab.bos()};
+    for (int s = 0; s < shots && !task.fewshot_pool.empty(); ++s) {
+      const data::GenItem& shot =
+          task.fewshot_pool[rng.index(task.fewshot_pool.size())];
+      prompt.insert(prompt.end(), shot.prompt.begin(), shot.prompt.end());
+      prompt.insert(prompt.end(), shot.reference.begin(), shot.reference.end());
+    }
+    prompt.insert(prompt.end(), item.prompt.begin(), item.prompt.end());
+    // Respect the context window (drop to zero-shot if needed).
+    if (static_cast<std::int64_t>(prompt.size()) + options.max_new_tokens >
+        model.config().max_seq_len) {
+      prompt.assign({vocab.bos()});
+      prompt.insert(prompt.end(), item.prompt.begin(), item.prompt.end());
+    }
+    const auto answer = self_consistent_answer(model, prompt, options);
+    if (answer.has_value() && *answer == item.answer) ++result.n_correct;
+  }
+  result.accuracy =
+      n > 0 ? static_cast<double>(result.n_correct) / static_cast<double>(n) : 0.0;
+  return result;
+}
+
+}  // namespace sdd::eval

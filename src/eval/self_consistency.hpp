@@ -1,0 +1,37 @@
+// Self-consistency decoding for generative math evaluation (Wang et al.
+// style majority voting): sample k solutions at temperature, extract each
+// final answer, return the modal answer. An inference-time quality lever
+// that composes with pruning + self-data distillation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "data/evalset.hpp"
+#include "eval/harness.hpp"
+#include "nn/transformer.hpp"
+
+namespace sdd::eval {
+
+struct SelfConsistencyOptions {
+  int samples = 5;            // k sampled chains (1 => plain greedy)
+  float temperature = 0.7F;
+  std::int64_t max_new_tokens = 40;
+  std::uint64_t seed = 777;
+};
+
+// Majority-vote answer for one prompt; nullopt when no sample yields a
+// parseable number. Greedy decoding is used when samples == 1.
+std::optional<std::int64_t> self_consistent_answer(
+    const nn::TransformerLM& model, std::span<const data::TokenId> prompt,
+    const SelfConsistencyOptions& options);
+
+// µGSM8k accuracy under self-consistency (same k-shot protocol as
+// evaluate_gen).
+TaskResult evaluate_gen_self_consistent(const nn::TransformerLM& model,
+                                        const data::GenTask& task,
+                                        const SelfConsistencyOptions& options,
+                                        const EvalOptions& eval_options = {});
+
+}  // namespace sdd::eval

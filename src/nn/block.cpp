@@ -1,0 +1,242 @@
+#include "nn/block.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "tensor/kernels.hpp"
+#include "tensor/ops.hpp"
+
+namespace sdd::nn {
+
+// ---------------------------------------------------------------- RMSNorm
+
+RMSNorm::RMSNorm(std::int64_t dim) {
+  weight_ = Tensor::full(Shape{dim}, 1.0F, /*requires_grad=*/true);
+}
+
+Tensor RMSNorm::forward(const Tensor& x, float eps) const {
+  return ops::rmsnorm(x, weight_, eps);
+}
+
+void RMSNorm::apply(const float* x, float* out, std::int64_t rows, float eps) const {
+  kernels::rmsnorm_forward(x, weight_.data().data(), out, rows, weight_.dim(0), eps,
+                           /*inv_rms=*/nullptr);
+}
+
+void RMSNorm::collect_parameters(const std::string& prefix, ParamList& out) const {
+  out.push_back({prefix + ".weight", weight_});
+}
+
+void RMSNorm::collect_trainable(const std::string& prefix, ParamList& out) const {
+  if (weight_.requires_grad()) out.push_back({prefix + ".weight", weight_});
+}
+
+RMSNorm RMSNorm::clone() const {
+  RMSNorm copy;
+  copy.weight_ = weight_.clone();
+  return copy;
+}
+
+// --------------------------------------------------- CausalSelfAttention
+
+CausalSelfAttention::CausalSelfAttention(const ModelConfig& config, Rng& rng)
+    : wq_{config.d_model, config.d_model, rng},
+      wk_{config.d_model, config.d_model, rng},
+      wv_{config.d_model, config.d_model, rng},
+      wo_{config.d_model, config.d_model, rng},
+      n_heads_{config.n_heads},
+      rope_base_{config.rope_base} {}
+
+Tensor CausalSelfAttention::forward(const Tensor& x) const {
+  const Tensor q = wq_.forward(x);
+  const Tensor k = wk_.forward(x);
+  const Tensor v = wv_.forward(x);
+  const Tensor attn = ops::causal_self_attention(q, k, v, n_heads_, rope_base_);
+  return wo_.forward(attn);
+}
+
+void CausalSelfAttention::step(const float* x, float* out, LayerKVCache& cache,
+                               std::int64_t pos) const {
+  const std::int64_t channels = wq_.out_features();
+  const std::int64_t head_dim = channels / n_heads_;
+  const float inv_sqrt_d = 1.0F / std::sqrt(static_cast<float>(head_dim));
+
+  if (static_cast<std::size_t>((pos + 1) * channels) > cache.keys.size()) {
+    throw std::logic_error("attention step: KV cache overflow");
+  }
+  if (pos != cache.length) {
+    throw std::logic_error("attention step: position does not match cache length");
+  }
+
+  std::vector<float> q(static_cast<std::size_t>(channels));
+  float* k_slot = cache.keys.data() + pos * channels;
+  float* v_slot = cache.values.data() + pos * channels;
+  wq_.apply(x, q.data(), 1);
+  wk_.apply(x, k_slot, 1);
+  wv_.apply(x, v_slot, 1);
+  kernels::rope_apply(q.data(), n_heads_, head_dim, pos, rope_base_, 1.0F);
+  kernels::rope_apply(k_slot, n_heads_, head_dim, pos, rope_base_, 1.0F);
+  cache.length = pos + 1;
+
+  std::vector<float> mixed(static_cast<std::size_t>(channels), 0.0F);
+  std::vector<float> scores(static_cast<std::size_t>(pos + 1));
+  for (std::int64_t h = 0; h < n_heads_; ++h) {
+    const float* q_head = q.data() + h * head_dim;
+    float max_score = -1e30F;
+    for (std::int64_t t = 0; t <= pos; ++t) {
+      const float s =
+          kernels::dot(q_head, cache.keys.data() + t * channels + h * head_dim,
+                       head_dim) *
+          inv_sqrt_d;
+      scores[static_cast<std::size_t>(t)] = s;
+      max_score = std::max(max_score, s);
+    }
+    float sum = 0.0F;
+    for (std::int64_t t = 0; t <= pos; ++t) {
+      scores[static_cast<std::size_t>(t)] =
+          std::exp(scores[static_cast<std::size_t>(t)] - max_score);
+      sum += scores[static_cast<std::size_t>(t)];
+    }
+    const float inv_sum = 1.0F / sum;
+    float* mixed_head = mixed.data() + h * head_dim;
+    for (std::int64_t t = 0; t <= pos; ++t) {
+      kernels::axpy(scores[static_cast<std::size_t>(t)] * inv_sum,
+                    cache.values.data() + t * channels + h * head_dim, mixed_head,
+                    head_dim, /*accumulate=*/true);
+    }
+  }
+  wo_.apply(mixed.data(), out, 1);
+}
+
+void CausalSelfAttention::collect_parameters(const std::string& prefix,
+                                             ParamList& out) const {
+  wq_.collect_parameters(prefix + ".wq", out);
+  wk_.collect_parameters(prefix + ".wk", out);
+  wv_.collect_parameters(prefix + ".wv", out);
+  wo_.collect_parameters(prefix + ".wo", out);
+}
+
+void CausalSelfAttention::collect_trainable(const std::string& prefix,
+                                            ParamList& out) const {
+  wq_.collect_trainable(prefix + ".wq", out);
+  wk_.collect_trainable(prefix + ".wk", out);
+  wv_.collect_trainable(prefix + ".wv", out);
+  wo_.collect_trainable(prefix + ".wo", out);
+}
+
+CausalSelfAttention CausalSelfAttention::clone() const {
+  CausalSelfAttention copy;
+  copy.wq_ = wq_.clone();
+  copy.wk_ = wk_.clone();
+  copy.wv_ = wv_.clone();
+  copy.wo_ = wo_.clone();
+  copy.n_heads_ = n_heads_;
+  copy.rope_base_ = rope_base_;
+  return copy;
+}
+
+// ------------------------------------------------------------- SwiGluMlp
+
+SwiGluMlp::SwiGluMlp(const ModelConfig& config, Rng& rng)
+    : w_gate_{config.d_model, config.d_ff, rng},
+      w_up_{config.d_model, config.d_ff, rng},
+      w_down_{config.d_ff, config.d_model, rng} {}
+
+Tensor SwiGluMlp::forward(const Tensor& x) const {
+  const Tensor gate = w_gate_.forward(x);
+  const Tensor up = w_up_.forward(x);
+  return w_down_.forward(ops::swiglu(gate, up));
+}
+
+void SwiGluMlp::step(const float* x, float* out) const {
+  const std::int64_t d_ff = w_gate_.out_features();
+  std::vector<float> gate(static_cast<std::size_t>(d_ff));
+  std::vector<float> up(static_cast<std::size_t>(d_ff));
+  w_gate_.apply(x, gate.data(), 1);
+  w_up_.apply(x, up.data(), 1);
+  for (std::int64_t i = 0; i < d_ff; ++i) {
+    gate[static_cast<std::size_t>(i)] =
+        kernels::silu(gate[static_cast<std::size_t>(i)]) *
+        up[static_cast<std::size_t>(i)];
+  }
+  w_down_.apply(gate.data(), out, 1);
+}
+
+void SwiGluMlp::collect_parameters(const std::string& prefix, ParamList& out) const {
+  w_gate_.collect_parameters(prefix + ".gate", out);
+  w_up_.collect_parameters(prefix + ".up", out);
+  w_down_.collect_parameters(prefix + ".down", out);
+}
+
+void SwiGluMlp::collect_trainable(const std::string& prefix, ParamList& out) const {
+  w_gate_.collect_trainable(prefix + ".gate", out);
+  w_up_.collect_trainable(prefix + ".up", out);
+  w_down_.collect_trainable(prefix + ".down", out);
+}
+
+SwiGluMlp SwiGluMlp::clone() const {
+  SwiGluMlp copy;
+  copy.w_gate_ = w_gate_.clone();
+  copy.w_up_ = w_up_.clone();
+  copy.w_down_ = w_down_.clone();
+  return copy;
+}
+
+// ------------------------------------------------------ TransformerBlock
+
+TransformerBlock::TransformerBlock(const ModelConfig& config, Rng& rng)
+    : norm1_{config.d_model},
+      norm2_{config.d_model},
+      attn_{config, rng},
+      mlp_{config, rng},
+      eps_{config.rmsnorm_eps} {}
+
+Tensor TransformerBlock::forward(const Tensor& x) const {
+  const Tensor attn_out = attn_.forward(norm1_.forward(x, eps_));
+  const Tensor mid = ops::add(x, attn_out);
+  const Tensor mlp_out = mlp_.forward(norm2_.forward(mid, eps_));
+  return ops::add(mid, mlp_out);
+}
+
+void TransformerBlock::step(float* x, LayerKVCache& cache, std::int64_t pos) const {
+  const std::int64_t channels = norm1_.weight().dim(0);
+  std::vector<float> normed(static_cast<std::size_t>(channels));
+  std::vector<float> delta(static_cast<std::size_t>(channels));
+
+  norm1_.apply(x, normed.data(), 1, eps_);
+  attn_.step(normed.data(), delta.data(), cache, pos);
+  kernels::axpy(1.0F, delta.data(), x, channels, /*accumulate=*/true);
+
+  norm2_.apply(x, normed.data(), 1, eps_);
+  mlp_.step(normed.data(), delta.data());
+  kernels::axpy(1.0F, delta.data(), x, channels, /*accumulate=*/true);
+}
+
+void TransformerBlock::collect_parameters(const std::string& prefix,
+                                          ParamList& out) const {
+  norm1_.collect_parameters(prefix + ".norm1", out);
+  attn_.collect_parameters(prefix + ".attn", out);
+  norm2_.collect_parameters(prefix + ".norm2", out);
+  mlp_.collect_parameters(prefix + ".mlp", out);
+}
+
+void TransformerBlock::collect_trainable(const std::string& prefix,
+                                         ParamList& out) const {
+  norm1_.collect_trainable(prefix + ".norm1", out);
+  attn_.collect_trainable(prefix + ".attn", out);
+  norm2_.collect_trainable(prefix + ".norm2", out);
+  mlp_.collect_trainable(prefix + ".mlp", out);
+}
+
+TransformerBlock TransformerBlock::clone() const {
+  TransformerBlock copy;
+  copy.norm1_ = norm1_.clone();
+  copy.norm2_ = norm2_.clone();
+  copy.attn_ = attn_.clone();
+  copy.mlp_ = mlp_.clone();
+  copy.eps_ = eps_;
+  return copy;
+}
+
+}  // namespace sdd::nn

@@ -1,0 +1,46 @@
+// Transformer hyper-parameter configuration.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/hash.hpp"
+
+namespace sdd::nn {
+
+struct ModelConfig {
+  std::int64_t vocab_size = 0;
+  std::int64_t d_model = 64;
+  std::int64_t n_heads = 4;
+  std::int64_t n_layers = 16;
+  std::int64_t d_ff = 128;
+  std::int64_t max_seq_len = 96;
+  float rope_base = 10000.0F;
+  float rmsnorm_eps = 1e-5F;
+
+  std::int64_t head_dim() const { return d_model / n_heads; }
+
+  bool operator==(const ModelConfig&) const = default;
+
+  std::uint64_t hash() const {
+    std::uint64_t h = kFnvOffset;
+    h = fnv1a_value(vocab_size, h);
+    h = fnv1a_value(d_model, h);
+    h = fnv1a_value(n_heads, h);
+    h = fnv1a_value(n_layers, h);
+    h = fnv1a_value(d_ff, h);
+    h = fnv1a_value(max_seq_len, h);
+    h = fnv1a_value(rope_base, h);
+    h = fnv1a_value(rmsnorm_eps, h);
+    return h;
+  }
+
+  std::string to_string() const {
+    return "ModelConfig{vocab=" + std::to_string(vocab_size) +
+           ", d=" + std::to_string(d_model) + ", heads=" + std::to_string(n_heads) +
+           ", layers=" + std::to_string(n_layers) + ", ff=" + std::to_string(d_ff) +
+           ", ctx=" + std::to_string(max_seq_len) + "}";
+  }
+};
+
+}  // namespace sdd::nn

@@ -1,0 +1,33 @@
+// Autoregressive decoding (greedy and temperature sampling) with KV cache.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nn/transformer.hpp"
+#include "util/rng.hpp"
+
+namespace sdd::nn {
+
+struct GenerateOptions {
+  std::int64_t max_new_tokens = 48;
+  float temperature = 0.0F;  // 0 => greedy argmax
+  std::int32_t stop_token = -1;
+  std::uint64_t seed = 1234;
+};
+
+// Feed `prompt` through the model and decode up to max_new_tokens more.
+// Returns ONLY the newly generated tokens; generation stops at stop_token
+// (which is not included) or at the model's context limit.
+std::vector<std::int32_t> generate(const TransformerLM& model,
+                                   std::span<const std::int32_t> prompt,
+                                   const GenerateOptions& options);
+
+// Sum of log p(continuation | prompt) under the model, computed with one
+// batched forward. Used for multiple-choice scoring.
+double sequence_logprob(const TransformerLM& model,
+                        std::span<const std::int32_t> prompt,
+                        std::span<const std::int32_t> continuation);
+
+}  // namespace sdd::nn

@@ -1,0 +1,39 @@
+#include "nn/module.hpp"
+
+#include <stdexcept>
+
+namespace sdd::nn {
+
+std::int64_t param_count(const ParamList& params) {
+  std::int64_t total = 0;
+  for (const NamedParam& p : params) total += p.tensor.numel();
+  return total;
+}
+
+std::vector<float> flatten_params(const ParamList& params) {
+  std::vector<float> flat;
+  flat.reserve(static_cast<std::size_t>(param_count(params)));
+  for (const NamedParam& p : params) {
+    const auto data = p.tensor.data();
+    flat.insert(flat.end(), data.begin(), data.end());
+  }
+  return flat;
+}
+
+void unflatten_params(const ParamList& params, std::span<const float> flat) {
+  std::size_t offset = 0;
+  for (const NamedParam& p : params) {
+    const auto n = static_cast<std::size_t>(p.tensor.numel());
+    if (offset + n > flat.size()) {
+      throw std::invalid_argument("unflatten_params: flat vector too short");
+    }
+    Tensor tensor = p.tensor;  // shared impl; copy_from mutates in place
+    tensor.copy_from(flat.subspan(offset, n));
+    offset += n;
+  }
+  if (offset != flat.size()) {
+    throw std::invalid_argument("unflatten_params: flat vector too long");
+  }
+}
+
+}  // namespace sdd::nn

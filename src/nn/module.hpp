@@ -1,0 +1,26 @@
+// Parameter registry shared by all network modules.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace sdd::nn {
+
+struct NamedParam {
+  std::string name;
+  Tensor tensor;
+};
+
+using ParamList = std::vector<NamedParam>;
+
+// Total number of scalar parameters in a list.
+std::int64_t param_count(const ParamList& params);
+
+// Flatten all parameter values into one contiguous vector (used by SLERP
+// merging and by checkpoint hashing), and scatter such a vector back.
+std::vector<float> flatten_params(const ParamList& params);
+void unflatten_params(const ParamList& params, std::span<const float> flat);
+
+}  // namespace sdd::nn

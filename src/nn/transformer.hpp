@@ -1,0 +1,108 @@
+// Decoder-only transformer language model (Llama-style: RMSNorm pre-norm,
+// RoPE attention, SwiGLU MLP, tied input/output embeddings).
+//
+// This class is also where the paper's structural surgery happens:
+// `pruned(start, n)` returns a model with decoder blocks [start, start+n)
+// removed and the residual stream rewired (Algorithm 1, lines 11-12).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "nn/block.hpp"
+#include "nn/config.hpp"
+#include "nn/module.hpp"
+#include "tensor/tensor.hpp"
+
+namespace sdd::nn {
+
+struct LoraConfig {
+  std::int64_t rank = 8;
+  float alpha = 16.0F;
+  bool on_attention = true;
+  bool on_mlp = true;
+
+  std::uint64_t hash() const {
+    std::uint64_t h = kFnvOffset;
+    h = fnv1a_value(rank, h);
+    h = fnv1a_value(alpha, h);
+    h = fnv1a_value(on_attention, h);
+    h = fnv1a_value(on_mlp, h);
+    return h;
+  }
+};
+
+class TransformerLM {
+ public:
+  TransformerLM() = default;
+  TransformerLM(const ModelConfig& config, std::uint64_t seed);
+
+  const ModelConfig& config() const { return config_; }
+  std::int64_t n_layers() const { return static_cast<std::int64_t>(blocks_.size()); }
+
+  // Training/eval forward: `ids` holds batch*seq token ids; returns logits
+  // [batch, seq, vocab].
+  Tensor forward(const std::vector<std::int32_t>& ids, std::int64_t batch,
+                 std::int64_t seq) const;
+
+  // Residual-stream activations at every block boundary (no autograd):
+  // result[0] is the embedding output (input of block 0) and result[l] is the
+  // output of block l-1; each entry is a flat [batch*seq*d_model] buffer.
+  std::vector<std::vector<float>> hidden_states(const std::vector<std::int32_t>& ids,
+                                                std::int64_t batch,
+                                                std::int64_t seq) const;
+
+  // ---- incremental decoding -------------------------------------------
+  struct DecodeState {
+    std::vector<LayerKVCache> caches;
+    std::int64_t position = 0;
+    void reset();
+  };
+
+  DecodeState make_decode_state() const;
+  // Feed one token; returns the next-token logits [vocab].
+  std::vector<float> decode_step(DecodeState& state, std::int32_t token) const;
+
+  // ---- structural surgery ----------------------------------------------
+  TransformerLM clone() const;
+  // Remove blocks [start, start+n): output of block start-1 feeds block
+  // start+n directly. Embeddings and final norm are shared by value copy.
+  TransformerLM pruned(std::int64_t start, std::int64_t n) const;
+
+  // ---- parameters --------------------------------------------------------
+  ParamList parameters() const;
+  ParamList trainable_parameters() const;
+  std::int64_t param_count() const;
+  std::uint64_t weight_hash() const;
+
+  // Freeze/unfreeze everything (used around LoRA fine-tuning).
+  void set_trainable(bool trainable);
+
+  // ---- LoRA ---------------------------------------------------------------
+  void attach_lora(const LoraConfig& config, std::uint64_t seed);
+  void merge_lora();
+  bool has_lora() const;
+
+  // ---- persistence ---------------------------------------------------------
+  void save(const std::filesystem::path& path) const;
+  static TransformerLM load(const std::filesystem::path& path);
+
+  const Tensor& token_embedding() const { return tok_embed_; }
+  TransformerBlock& block(std::size_t i) { return *blocks_.at(i); }
+  const TransformerBlock& block(std::size_t i) const { return *blocks_.at(i); }
+
+ private:
+  Tensor final_hidden(const std::vector<std::int32_t>& ids, std::int64_t batch,
+                      std::int64_t seq) const;
+
+  ModelConfig config_;
+  Tensor tok_embed_;  // [vocab, d_model]; also the (tied) output projection
+  std::vector<std::unique_ptr<TransformerBlock>> blocks_;
+  RMSNorm final_norm_;
+};
+
+}  // namespace sdd::nn

@@ -1,0 +1,50 @@
+// Raw float kernels shared by the autograd ops and the no-grad inference path.
+//
+// All GEMM variants are row-major and accumulate into C when `accumulate` is
+// true (C += ...), otherwise they overwrite C. Inner loops are written so GCC
+// auto-vectorizes them with -O3 -march=native; rows are sharded over the
+// global thread pool when it has workers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace sdd::kernels {
+
+// C[m,n] (+)= A[m,k] @ B[k,n]
+void gemm_nn(const float* a, const float* b, float* c, std::int64_t m, std::int64_t k,
+             std::int64_t n, bool accumulate);
+
+// C[m,n] (+)= A[m,k] @ B[n,k]^T   (dot products of rows)
+void gemm_nt(const float* a, const float* b, float* c, std::int64_t m, std::int64_t k,
+             std::int64_t n, bool accumulate);
+
+// C[m,n] (+)= A[k,m]^T @ B[k,n]   (sum of outer products)
+void gemm_tn(const float* a, const float* b, float* c, std::int64_t m, std::int64_t k,
+             std::int64_t n, bool accumulate);
+
+// y[i] (+)= alpha * x[i]
+void axpy(float alpha, const float* x, float* y, std::int64_t n, bool accumulate);
+
+float dot(const float* a, const float* b, std::int64_t n);
+
+// In-place numerically stable softmax over each row of x[rows, cols].
+void softmax_rows(float* x, std::int64_t rows, std::int64_t cols);
+
+// RMSNorm forward: out[r,:] = x[r,:] / rms(x[r,:]) * weight; returns nothing,
+// caller may pass `inv_rms != nullptr` to capture 1/rms per row for backward.
+void rmsnorm_forward(const float* x, const float* weight, float* out,
+                     std::int64_t rows, std::int64_t cols, float eps,
+                     float* inv_rms);
+
+// SiLU(x) = x * sigmoid(x)
+float silu(float x) noexcept;
+float silu_derivative(float x) noexcept;
+
+// Rotary position embedding applied in-place to a [heads, head_dim] slice for
+// a single position `pos`. Pairs (2i, 2i+1) are rotated by pos * base^(-2i/d).
+// `sign` = +1 applies the rotation, -1 applies the inverse (for backward).
+void rope_apply(float* vec, std::int64_t n_heads, std::int64_t head_dim,
+                std::int64_t pos, float base, float sign);
+
+}  // namespace sdd::kernels

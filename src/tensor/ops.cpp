@@ -1,0 +1,582 @@
+#include "tensor/ops.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "tensor/kernels.hpp"
+
+namespace sdd::ops {
+namespace {
+
+void require(bool condition, const char* message) {
+  if (!condition) throw std::invalid_argument(message);
+}
+
+void require_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  if (a.shape() != b.shape()) {
+    throw std::invalid_argument(std::string{op} + ": shape mismatch " +
+                                shape_to_string(a.shape()) + " vs " +
+                                shape_to_string(b.shape()));
+  }
+}
+
+// Accumulate src into dst's grad buffer (allocating it on demand).
+void accumulate_grad(TensorImpl* impl, std::span<const float> src) {
+  if (!impl->requires_grad) return;
+  impl->ensure_grad();
+  for (std::size_t i = 0; i < src.size(); ++i) impl->grad[i] += src[i];
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) { return add_scaled(a, b, 1.0F); }
+
+Tensor add_scaled(const Tensor& a, const Tensor& b, float alpha) {
+  require_same_shape(a, b, "add_scaled");
+  Tensor out{a.shape(), false};
+  const auto n = static_cast<std::size_t>(a.numel());
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  float* po = out.data().data();
+  for (std::size_t i = 0; i < n; ++i) po[i] = pa[i] + alpha * pb[i];
+
+  TensorImpl* out_impl = out.raw();
+  TensorImpl* a_impl = a.raw();
+  TensorImpl* b_impl = b.raw();
+  set_grad_fn(out, {a, b}, [out_impl, a_impl, b_impl, alpha, n] {
+    accumulate_grad(a_impl, {out_impl->grad.data(), n});
+    if (b_impl->requires_grad) {
+      b_impl->ensure_grad();
+      for (std::size_t i = 0; i < n; ++i) b_impl->grad[i] += alpha * out_impl->grad[i];
+    }
+  });
+  return out;
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  require_same_shape(a, b, "mul");
+  Tensor out{a.shape(), false};
+  const auto n = static_cast<std::size_t>(a.numel());
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  float* po = out.data().data();
+  for (std::size_t i = 0; i < n; ++i) po[i] = pa[i] * pb[i];
+
+  TensorImpl* out_impl = out.raw();
+  TensorImpl* a_impl = a.raw();
+  TensorImpl* b_impl = b.raw();
+  set_grad_fn(out, {a, b}, [out_impl, a_impl, b_impl, n] {
+    if (a_impl->requires_grad) {
+      a_impl->ensure_grad();
+      for (std::size_t i = 0; i < n; ++i) {
+        a_impl->grad[i] += out_impl->grad[i] * b_impl->data[i];
+      }
+    }
+    if (b_impl->requires_grad) {
+      b_impl->ensure_grad();
+      for (std::size_t i = 0; i < n; ++i) {
+        b_impl->grad[i] += out_impl->grad[i] * a_impl->data[i];
+      }
+    }
+  });
+  return out;
+}
+
+Tensor scale(const Tensor& a, float alpha) {
+  Tensor out{a.shape(), false};
+  const auto n = static_cast<std::size_t>(a.numel());
+  kernels::axpy(alpha, a.data().data(), out.data().data(), static_cast<std::int64_t>(n),
+                /*accumulate=*/false);
+
+  TensorImpl* out_impl = out.raw();
+  TensorImpl* a_impl = a.raw();
+  set_grad_fn(out, {a}, [out_impl, a_impl, alpha, n] {
+    a_impl->ensure_grad();
+    for (std::size_t i = 0; i < n; ++i) a_impl->grad[i] += alpha * out_impl->grad[i];
+  });
+  return out;
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  require(a.ndim() == 2 && b.ndim() == 2, "matmul: expects 2-D tensors");
+  const std::int64_t m = a.dim(0);
+  const std::int64_t k = a.dim(1);
+  require(b.dim(0) == k, "matmul: inner dimensions differ");
+  const std::int64_t n = b.dim(1);
+
+  Tensor out{Shape{m, n}, false};
+  kernels::gemm_nn(a.data().data(), b.data().data(), out.data().data(), m, k, n,
+                   /*accumulate=*/false);
+
+  TensorImpl* out_impl = out.raw();
+  TensorImpl* a_impl = a.raw();
+  TensorImpl* b_impl = b.raw();
+  set_grad_fn(out, {a, b}, [out_impl, a_impl, b_impl, m, k, n] {
+    const float* d_out = out_impl->grad.data();
+    if (a_impl->requires_grad) {
+      a_impl->ensure_grad();
+      // dA[m,k] += dC[m,n] @ B[k,n]^T
+      kernels::gemm_nt(d_out, b_impl->data.data(), a_impl->grad.data(), m, n, k,
+                       /*accumulate=*/true);
+    }
+    if (b_impl->requires_grad) {
+      b_impl->ensure_grad();
+      // dB[k,n] += A[m,k]^T @ dC[m,n]
+      kernels::gemm_tn(a_impl->data.data(), d_out, b_impl->grad.data(), k, m, n,
+                       /*accumulate=*/true);
+    }
+  });
+  return out;
+}
+
+Tensor linear(const Tensor& x, const Tensor& w, const Tensor& bias) {
+  require(w.ndim() == 2, "linear: weight must be [out, in]");
+  const std::int64_t in_features = w.dim(1);
+  const std::int64_t out_features = w.dim(0);
+  require(x.ndim() >= 1 && x.shape().back() == in_features,
+          "linear: input feature dimension mismatch");
+  if (bias.defined()) {
+    require(bias.ndim() == 1 && bias.dim(0) == out_features,
+            "linear: bias dimension mismatch");
+  }
+  const std::int64_t rows = x.numel() / in_features;
+
+  Shape out_shape{x.shape()};
+  out_shape.back() = out_features;
+  Tensor out{std::move(out_shape), false};
+  kernels::gemm_nt(x.data().data(), w.data().data(), out.data().data(), rows,
+                   in_features, out_features, /*accumulate=*/false);
+  if (bias.defined()) {
+    float* po = out.data().data();
+    const float* pb = bias.data().data();
+    for (std::int64_t r = 0; r < rows; ++r) {
+      kernels::axpy(1.0F, pb, po + r * out_features, out_features, /*accumulate=*/true);
+    }
+  }
+
+  TensorImpl* out_impl = out.raw();
+  TensorImpl* x_impl = x.raw();
+  TensorImpl* w_impl = w.raw();
+  TensorImpl* b_impl = bias.defined() ? bias.raw() : nullptr;
+  set_grad_fn(out, {x, w, bias},
+              [out_impl, x_impl, w_impl, b_impl, rows, in_features, out_features] {
+                const float* d_out = out_impl->grad.data();
+                if (x_impl->requires_grad) {
+                  x_impl->ensure_grad();
+                  // dX[rows,in] += dY[rows,out] @ W[out,in]
+                  kernels::gemm_nn(d_out, w_impl->data.data(), x_impl->grad.data(), rows,
+                                   out_features, in_features, /*accumulate=*/true);
+                }
+                if (w_impl->requires_grad) {
+                  w_impl->ensure_grad();
+                  // dW[out,in] += dY[rows,out]^T @ X[rows,in]
+                  kernels::gemm_tn(d_out, x_impl->data.data(), w_impl->grad.data(),
+                                   out_features, rows, in_features, /*accumulate=*/true);
+                }
+                if (b_impl != nullptr && b_impl->requires_grad) {
+                  b_impl->ensure_grad();
+                  for (std::int64_t r = 0; r < rows; ++r) {
+                    const float* d_row = d_out + r * out_features;
+                    for (std::int64_t c = 0; c < out_features; ++c) {
+                      b_impl->grad[static_cast<std::size_t>(c)] += d_row[c];
+                    }
+                  }
+                }
+              });
+  return out;
+}
+
+Tensor embedding(std::vector<std::int32_t> ids, const Tensor& table, Shape out_prefix) {
+  require(table.ndim() == 2, "embedding: table must be [V, C]");
+  const std::int64_t vocab = table.dim(0);
+  const std::int64_t channels = table.dim(1);
+  require(shape_numel(out_prefix) == static_cast<std::int64_t>(ids.size()),
+          "embedding: prefix shape does not match id count");
+
+  Shape out_shape{out_prefix};
+  out_shape.push_back(channels);
+  Tensor out{std::move(out_shape), false};
+  float* po = out.data().data();
+  const float* pt = table.data().data();
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const std::int32_t id = ids[i];
+    require(id >= 0 && id < vocab, "embedding: id out of range");
+    std::memcpy(po + static_cast<std::int64_t>(i) * channels, pt + id * channels,
+                static_cast<std::size_t>(channels) * sizeof(float));
+  }
+
+  TensorImpl* out_impl = out.raw();
+  TensorImpl* table_impl = table.raw();
+  set_grad_fn(out, {table}, [out_impl, table_impl, ids = std::move(ids), channels] {
+    table_impl->ensure_grad();
+    const float* d_out = out_impl->grad.data();
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      float* d_row = table_impl->grad.data() + ids[i] * channels;
+      const float* src = d_out + static_cast<std::int64_t>(i) * channels;
+      for (std::int64_t c = 0; c < channels; ++c) d_row[c] += src[c];
+    }
+  });
+  return out;
+}
+
+Tensor rmsnorm(const Tensor& x, const Tensor& weight, float eps) {
+  require(weight.ndim() == 1, "rmsnorm: weight must be 1-D");
+  const std::int64_t cols = weight.dim(0);
+  require(!x.shape().empty() && x.shape().back() == cols,
+          "rmsnorm: channel dimension mismatch");
+  const std::int64_t rows = x.numel() / cols;
+
+  Tensor out{x.shape(), false};
+  std::vector<float> inv_rms(static_cast<std::size_t>(rows));
+  kernels::rmsnorm_forward(x.data().data(), weight.data().data(), out.data().data(),
+                           rows, cols, eps, inv_rms.data());
+
+  TensorImpl* out_impl = out.raw();
+  TensorImpl* x_impl = x.raw();
+  TensorImpl* w_impl = weight.raw();
+  set_grad_fn(out, {x, weight},
+              [out_impl, x_impl, w_impl, rows, cols, inv_rms = std::move(inv_rms)] {
+                const float* d_out = out_impl->grad.data();
+                const float* px = x_impl->data.data();
+                const float* pw = w_impl->data.data();
+                if (x_impl->requires_grad) x_impl->ensure_grad();
+                if (w_impl->requires_grad) w_impl->ensure_grad();
+                for (std::int64_t r = 0; r < rows; ++r) {
+                  const float* x_row = px + r * cols;
+                  const float* d_row = d_out + r * cols;
+                  const float s = inv_rms[static_cast<std::size_t>(r)];
+                  if (w_impl->requires_grad) {
+                    for (std::int64_t c = 0; c < cols; ++c) {
+                      w_impl->grad[static_cast<std::size_t>(c)] +=
+                          d_row[c] * x_row[c] * s;
+                    }
+                  }
+                  if (x_impl->requires_grad) {
+                    // d x_j = s * w_j * d_j - s^3/C * x_j * sum_c(d_c w_c x_c)
+                    float weighted = 0.0F;
+                    for (std::int64_t c = 0; c < cols; ++c) {
+                      weighted += d_row[c] * pw[c] * x_row[c];
+                    }
+                    const float k = s * s * s * weighted / static_cast<float>(cols);
+                    float* g_row = x_impl->grad.data() + r * cols;
+                    for (std::int64_t c = 0; c < cols; ++c) {
+                      g_row[c] += s * pw[c] * d_row[c] - k * x_row[c];
+                    }
+                  }
+                }
+              });
+  return out;
+}
+
+Tensor swiglu(const Tensor& gate, const Tensor& up) {
+  require_same_shape(gate, up, "swiglu");
+  Tensor out{gate.shape(), false};
+  const auto n = static_cast<std::size_t>(gate.numel());
+  const float* pg = gate.data().data();
+  const float* pu = up.data().data();
+  float* po = out.data().data();
+  for (std::size_t i = 0; i < n; ++i) po[i] = kernels::silu(pg[i]) * pu[i];
+
+  TensorImpl* out_impl = out.raw();
+  TensorImpl* g_impl = gate.raw();
+  TensorImpl* u_impl = up.raw();
+  set_grad_fn(out, {gate, up}, [out_impl, g_impl, u_impl, n] {
+    const float* d_out = out_impl->grad.data();
+    if (g_impl->requires_grad) {
+      g_impl->ensure_grad();
+      for (std::size_t i = 0; i < n; ++i) {
+        g_impl->grad[i] +=
+            d_out[i] * u_impl->data[i] * kernels::silu_derivative(g_impl->data[i]);
+      }
+    }
+    if (u_impl->requires_grad) {
+      u_impl->ensure_grad();
+      for (std::size_t i = 0; i < n; ++i) {
+        u_impl->grad[i] += d_out[i] * kernels::silu(g_impl->data[i]);
+      }
+    }
+  });
+  return out;
+}
+
+Tensor causal_self_attention(const Tensor& q, const Tensor& k, const Tensor& v,
+                             std::int64_t n_heads, float rope_base) {
+  require(q.ndim() == 3, "attention: q must be [B,T,C]");
+  require_same_shape(q, k, "attention(q,k)");
+  require_same_shape(q, v, "attention(q,v)");
+  const std::int64_t batch = q.dim(0);
+  const std::int64_t seq = q.dim(1);
+  const std::int64_t channels = q.dim(2);
+  require(channels % n_heads == 0, "attention: C must be divisible by n_heads");
+  const std::int64_t head_dim = channels / n_heads;
+  const float inv_sqrt_d = 1.0F / std::sqrt(static_cast<float>(head_dim));
+
+  // Rotated copies of q and k (RoPE is a per-position orthogonal rotation).
+  std::vector<float> q_rot(q.data().begin(), q.data().end());
+  std::vector<float> k_rot(k.data().begin(), k.data().end());
+  for (std::int64_t b = 0; b < batch; ++b) {
+    for (std::int64_t t = 0; t < seq; ++t) {
+      const std::int64_t offset = (b * seq + t) * channels;
+      kernels::rope_apply(q_rot.data() + offset, n_heads, head_dim, t, rope_base, 1.0F);
+      kernels::rope_apply(k_rot.data() + offset, n_heads, head_dim, t, rope_base, 1.0F);
+    }
+  }
+
+  // Attention probabilities, stored for backward: [B, H, T, T] (0 above diag).
+  std::vector<float> probs(
+      static_cast<std::size_t>(batch * n_heads * seq * seq), 0.0F);
+  Tensor out{q.shape(), false};
+  float* po = out.data().data();
+  std::memset(po, 0, static_cast<std::size_t>(out.numel()) * sizeof(float));
+  const float* pv = v.data().data();
+
+  const auto qkv_offset = [&](std::int64_t b, std::int64_t t, std::int64_t h) {
+    return (b * seq + t) * channels + h * head_dim;
+  };
+  const auto prob_row = [&](std::int64_t b, std::int64_t h, std::int64_t t) {
+    return probs.data() + ((b * n_heads + h) * seq + t) * seq;
+  };
+
+  for (std::int64_t b = 0; b < batch; ++b) {
+    for (std::int64_t h = 0; h < n_heads; ++h) {
+      for (std::int64_t t1 = 0; t1 < seq; ++t1) {
+        float* row = prob_row(b, h, t1);
+        const float* q_vec = q_rot.data() + qkv_offset(b, t1, h);
+        // Scores for the causal prefix, then a stable softmax over it.
+        float max_score = -1e30F;
+        for (std::int64_t t2 = 0; t2 <= t1; ++t2) {
+          const float s =
+              kernels::dot(q_vec, k_rot.data() + qkv_offset(b, t2, h), head_dim) *
+              inv_sqrt_d;
+          row[t2] = s;
+          max_score = std::max(max_score, s);
+        }
+        float sum = 0.0F;
+        for (std::int64_t t2 = 0; t2 <= t1; ++t2) {
+          row[t2] = std::exp(row[t2] - max_score);
+          sum += row[t2];
+        }
+        const float inv_sum = 1.0F / sum;
+        float* out_vec = po + qkv_offset(b, t1, h);
+        for (std::int64_t t2 = 0; t2 <= t1; ++t2) {
+          row[t2] *= inv_sum;
+          kernels::axpy(row[t2], pv + qkv_offset(b, t2, h), out_vec, head_dim,
+                        /*accumulate=*/true);
+        }
+      }
+    }
+  }
+
+  TensorImpl* out_impl = out.raw();
+  TensorImpl* q_impl = q.raw();
+  TensorImpl* k_impl = k.raw();
+  TensorImpl* v_impl = v.raw();
+  set_grad_fn(
+      out, {q, k, v},
+      [out_impl, q_impl, k_impl, v_impl, batch, seq, channels, n_heads, head_dim,
+       inv_sqrt_d, rope_base, q_rot = std::move(q_rot), k_rot = std::move(k_rot),
+       probs = std::move(probs)] {
+        // Offset helpers over the *captured* buffers (the forward-scope
+        // lambdas referenced stack locals and must not be reused here).
+        const auto qkv_offset = [seq, channels, head_dim](std::int64_t b,
+                                                          std::int64_t t,
+                                                          std::int64_t h) {
+          return (b * seq + t) * channels + h * head_dim;
+        };
+        const auto prob_row = [&probs, n_heads, seq](std::int64_t b, std::int64_t h,
+                                                     std::int64_t t) {
+          return probs.data() + ((b * n_heads + h) * seq + t) * seq;
+        };
+        const float* d_out = out_impl->grad.data();
+        q_impl->ensure_grad();
+        k_impl->ensure_grad();
+        v_impl->ensure_grad();
+
+        // Gradients w.r.t. the *rotated* q/k; unrotated at the end.
+        std::vector<float> d_q_rot(q_rot.size(), 0.0F);
+        std::vector<float> d_k_rot(k_rot.size(), 0.0F);
+        std::vector<float> d_prob_row(static_cast<std::size_t>(seq));
+
+        for (std::int64_t b = 0; b < batch; ++b) {
+          for (std::int64_t h = 0; h < n_heads; ++h) {
+            for (std::int64_t t1 = 0; t1 < seq; ++t1) {
+              const float* p_row = prob_row(b, h, t1);
+              const float* d_o = d_out + qkv_offset(b, t1, h);
+              // dP[t2] = <dO, V[t2]>; dV[t2] += P[t2] * dO
+              for (std::int64_t t2 = 0; t2 <= t1; ++t2) {
+                d_prob_row[static_cast<std::size_t>(t2)] =
+                    kernels::dot(d_o, v_impl->data.data() + qkv_offset(b, t2, h),
+                                 head_dim);
+                kernels::axpy(p_row[t2], d_o,
+                              v_impl->grad.data() + qkv_offset(b, t2, h), head_dim,
+                              /*accumulate=*/true);
+              }
+              // Softmax backward: dS = P * (dP - sum(P * dP))
+              float dot_pp = 0.0F;
+              for (std::int64_t t2 = 0; t2 <= t1; ++t2) {
+                dot_pp += p_row[t2] * d_prob_row[static_cast<std::size_t>(t2)];
+              }
+              const float* q_vec = q_rot.data() + qkv_offset(b, t1, h);
+              float* d_q_vec = d_q_rot.data() + qkv_offset(b, t1, h);
+              for (std::int64_t t2 = 0; t2 <= t1; ++t2) {
+                const float d_s =
+                    p_row[t2] * (d_prob_row[static_cast<std::size_t>(t2)] - dot_pp) *
+                    inv_sqrt_d;
+                kernels::axpy(d_s, k_rot.data() + qkv_offset(b, t2, h), d_q_vec,
+                              head_dim, /*accumulate=*/true);
+                kernels::axpy(d_s, q_vec, d_k_rot.data() + qkv_offset(b, t2, h),
+                              head_dim, /*accumulate=*/true);
+              }
+            }
+          }
+        }
+
+        // Undo the rotation (R(t) is orthogonal, so dX = R(-t) dX_rot).
+        for (std::int64_t b = 0; b < batch; ++b) {
+          for (std::int64_t t = 0; t < seq; ++t) {
+            const std::int64_t offset = (b * seq + t) * channels;
+            kernels::rope_apply(d_q_rot.data() + offset, n_heads, head_dim, t,
+                                rope_base, -1.0F);
+            kernels::rope_apply(d_k_rot.data() + offset, n_heads, head_dim, t,
+                                rope_base, -1.0F);
+          }
+        }
+        for (std::size_t i = 0; i < d_q_rot.size(); ++i) {
+          q_impl->grad[i] += d_q_rot[i];
+          k_impl->grad[i] += d_k_rot[i];
+        }
+      });
+  return out;
+}
+
+Tensor cross_entropy(const Tensor& logits, std::span<const std::int32_t> targets,
+                     std::span<const float> weights) {
+  require(!logits.shape().empty(), "cross_entropy: empty logits");
+  const std::int64_t vocab = logits.shape().back();
+  const std::int64_t rows = logits.numel() / vocab;
+  require(static_cast<std::int64_t>(targets.size()) == rows,
+          "cross_entropy: target count mismatch");
+  require(static_cast<std::int64_t>(weights.size()) == rows,
+          "cross_entropy: weight count mismatch");
+
+  std::vector<float> probs(logits.data().begin(), logits.data().end());
+  kernels::softmax_rows(probs.data(), rows, vocab);
+
+  double total_weight = 0.0;
+  double total_loss = 0.0;
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float w = weights[static_cast<std::size_t>(r)];
+    if (w == 0.0F) continue;
+    const std::int32_t target = targets[static_cast<std::size_t>(r)];
+    require(target >= 0 && target < vocab, "cross_entropy: target out of range");
+    const float p = probs[static_cast<std::size_t>(r * vocab + target)];
+    total_loss += static_cast<double>(w) * -std::log(std::max(p, 1e-12F));
+    total_weight += w;
+  }
+  require(total_weight > 0.0, "cross_entropy: all weights are zero");
+
+  Tensor out = Tensor::full(Shape{1}, static_cast<float>(total_loss / total_weight));
+  TensorImpl* out_impl = out.raw();
+  TensorImpl* logits_impl = logits.raw();
+  std::vector<std::int32_t> targets_copy(targets.begin(), targets.end());
+  std::vector<float> weights_copy(weights.begin(), weights.end());
+  set_grad_fn(out, {logits},
+              [out_impl, logits_impl, rows, vocab, probs = std::move(probs),
+               targets_copy = std::move(targets_copy),
+               weights_copy = std::move(weights_copy), total_weight] {
+                logits_impl->ensure_grad();
+                const float d_loss = out_impl->grad[0];
+                const auto inv_weight = static_cast<float>(1.0 / total_weight);
+                for (std::int64_t r = 0; r < rows; ++r) {
+                  const float w = weights_copy[static_cast<std::size_t>(r)];
+                  if (w == 0.0F) continue;
+                  const float coeff = d_loss * w * inv_weight;
+                  const float* p_row = probs.data() + r * vocab;
+                  float* g_row = logits_impl->grad.data() + r * vocab;
+                  for (std::int64_t c = 0; c < vocab; ++c) g_row[c] += coeff * p_row[c];
+                  g_row[targets_copy[static_cast<std::size_t>(r)]] -= coeff;
+                }
+              });
+  return out;
+}
+
+Tensor soft_cross_entropy(const Tensor& logits, std::span<const float> teacher_probs,
+                          std::span<const float> weights) {
+  require(!logits.shape().empty(), "soft_cross_entropy: empty logits");
+  const std::int64_t vocab = logits.shape().back();
+  const std::int64_t rows = logits.numel() / vocab;
+  require(static_cast<std::int64_t>(teacher_probs.size()) == rows * vocab,
+          "soft_cross_entropy: teacher probability table size mismatch");
+  require(static_cast<std::int64_t>(weights.size()) == rows,
+          "soft_cross_entropy: weight count mismatch");
+
+  std::vector<float> student_probs(logits.data().begin(), logits.data().end());
+  kernels::softmax_rows(student_probs.data(), rows, vocab);
+
+  double total_weight = 0.0;
+  double total_loss = 0.0;
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float w = weights[static_cast<std::size_t>(r)];
+    if (w == 0.0F) continue;
+    double row_loss = 0.0;
+    for (std::int64_t v = 0; v < vocab; ++v) {
+      const float t = teacher_probs[static_cast<std::size_t>(r * vocab + v)];
+      if (t <= 0.0F) continue;
+      const float p = student_probs[static_cast<std::size_t>(r * vocab + v)];
+      row_loss -= static_cast<double>(t) * std::log(std::max(p, 1e-12F));
+    }
+    total_loss += static_cast<double>(w) * row_loss;
+    total_weight += w;
+  }
+  require(total_weight > 0.0, "soft_cross_entropy: all weights are zero");
+
+  Tensor out = Tensor::full(Shape{1}, static_cast<float>(total_loss / total_weight));
+  TensorImpl* out_impl = out.raw();
+  TensorImpl* logits_impl = logits.raw();
+  std::vector<float> teacher_copy(teacher_probs.begin(), teacher_probs.end());
+  std::vector<float> weights_copy(weights.begin(), weights.end());
+  set_grad_fn(out, {logits},
+              [out_impl, logits_impl, rows, vocab,
+               student_probs = std::move(student_probs),
+               teacher_copy = std::move(teacher_copy),
+               weights_copy = std::move(weights_copy), total_weight] {
+                logits_impl->ensure_grad();
+                const float d_loss = out_impl->grad[0];
+                const auto inv_weight = static_cast<float>(1.0 / total_weight);
+                for (std::int64_t r = 0; r < rows; ++r) {
+                  const float w = weights_copy[static_cast<std::size_t>(r)];
+                  if (w == 0.0F) continue;
+                  const float coeff = d_loss * w * inv_weight;
+                  float* g_row = logits_impl->grad.data() + r * vocab;
+                  const float* p_row = student_probs.data() + r * vocab;
+                  const float* t_row = teacher_copy.data() + r * vocab;
+                  for (std::int64_t v = 0; v < vocab; ++v) {
+                    g_row[v] += coeff * (p_row[v] - t_row[v]);
+                  }
+                }
+              });
+  return out;
+}
+
+Tensor sum(const Tensor& a) {
+  double total = 0.0;
+  for (float v : a.data()) total += v;
+  Tensor out = Tensor::full(Shape{1}, static_cast<float>(total));
+  TensorImpl* out_impl = out.raw();
+  TensorImpl* a_impl = a.raw();
+  const auto n = static_cast<std::size_t>(a.numel());
+  set_grad_fn(out, {a}, [out_impl, a_impl, n] {
+    a_impl->ensure_grad();
+    for (std::size_t i = 0; i < n; ++i) a_impl->grad[i] += out_impl->grad[0];
+  });
+  return out;
+}
+
+Tensor mean(const Tensor& a) {
+  const auto n = static_cast<float>(a.numel());
+  Tensor s = sum(a);
+  return scale(s, 1.0F / n);
+}
+
+}  // namespace sdd::ops

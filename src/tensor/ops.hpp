@@ -1,0 +1,65 @@
+// Differentiable tensor operations.
+//
+// Each op computes its forward with the shared kernels and, when autograd is
+// enabled and any input requires grad, records a hand-written backward
+// closure on the output tensor. The op set is deliberately fused at the
+// granularity a decoder-only transformer needs (linear, rmsnorm, SwiGLU,
+// causal RoPE attention, softmax cross-entropy), which keeps both the tape
+// and the arithmetic small.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace sdd::ops {
+
+// Elementwise (identical shapes).
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor add_scaled(const Tensor& a, const Tensor& b, float alpha);  // a + alpha*b
+Tensor mul(const Tensor& a, const Tensor& b);
+Tensor scale(const Tensor& a, float alpha);
+
+// 2-D matrix product: [m,k] @ [k,n] -> [m,n].
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+// y = x @ W^T (+ bias). `x` is [..., in], `w` is [out, in], bias is [out] or
+// undefined. Leading dimensions of x are treated as a flat batch.
+Tensor linear(const Tensor& x, const Tensor& w, const Tensor& bias = {});
+
+// Token embedding lookup: out[prefix..., C] = table[ids[i], :].
+Tensor embedding(std::vector<std::int32_t> ids, const Tensor& table,
+                 Shape out_prefix);
+
+// RMS normalization over the last dimension with learned gain `weight` [C].
+Tensor rmsnorm(const Tensor& x, const Tensor& weight, float eps = 1e-5F);
+
+// SwiGLU gating: out = silu(gate) * up (identical shapes).
+Tensor swiglu(const Tensor& gate, const Tensor& up);
+
+// Fused causal multi-head self-attention with rotary position embeddings.
+// q, k, v are [B, T, C] with C = n_heads * head_dim; RoPE (base `rope_base`)
+// is applied to q and k per head before the scaled dot-product.
+Tensor causal_self_attention(const Tensor& q, const Tensor& k, const Tensor& v,
+                             std::int64_t n_heads, float rope_base);
+
+// Weighted mean negative log-likelihood. `logits` is [..., V] whose leading
+// dims flatten to N rows; targets/weights have length N. Rows with weight 0
+// are ignored (loss masking). Returns a scalar.
+Tensor cross_entropy(const Tensor& logits, std::span<const std::int32_t> targets,
+                     std::span<const float> weights);
+
+// Weighted soft-target cross-entropy: H(teacher, student) averaged over rows
+// with non-zero weight. `teacher_probs` is a full [N*V] probability table
+// (rows summing to 1) treated as constant — the knowledge-distillation loss.
+// Returns a scalar.
+Tensor soft_cross_entropy(const Tensor& logits, std::span<const float> teacher_probs,
+                          std::span<const float> weights);
+
+// Reductions to a scalar.
+Tensor sum(const Tensor& a);
+Tensor mean(const Tensor& a);
+
+}  // namespace sdd::ops

@@ -1,0 +1,187 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+namespace sdd {
+namespace {
+thread_local bool g_autograd_enabled = true;
+}
+
+bool autograd_enabled() noexcept { return g_autograd_enabled; }
+
+NoGradGuard::NoGradGuard() noexcept : previous_{g_autograd_enabled} {
+  g_autograd_enabled = false;
+}
+
+NoGradGuard::~NoGradGuard() { g_autograd_enabled = previous_; }
+
+std::int64_t shape_numel(const Shape& shape) {
+  std::int64_t n = 1;
+  for (std::int64_t d : shape) {
+    if (d < 0) throw std::invalid_argument("negative dimension in shape");
+    n *= d;
+  }
+  return n;
+}
+
+std::string shape_to_string(const Shape& shape) {
+  std::ostringstream out;
+  out << '[';
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) out << ',';
+    out << shape[i];
+  }
+  out << ']';
+  return out.str();
+}
+
+void TensorImpl::ensure_grad() {
+  if (grad.empty()) grad.assign(data.size(), 0.0F);
+}
+
+Tensor::Tensor(Shape shape, bool requires_grad) {
+  impl_ = std::make_shared<TensorImpl>();
+  impl_->shape = std::move(shape);
+  impl_->data.assign(static_cast<std::size_t>(shape_numel(impl_->shape)), 0.0F);
+  impl_->requires_grad = requires_grad;
+}
+
+Tensor Tensor::zeros(Shape shape, bool requires_grad) {
+  return Tensor{std::move(shape), requires_grad};
+}
+
+Tensor Tensor::full(Shape shape, float value, bool requires_grad) {
+  Tensor t{std::move(shape), requires_grad};
+  std::fill(t.impl_->data.begin(), t.impl_->data.end(), value);
+  return t;
+}
+
+Tensor Tensor::from_data(std::vector<float> values, Shape shape, bool requires_grad) {
+  if (static_cast<std::int64_t>(values.size()) != shape_numel(shape)) {
+    throw std::invalid_argument("from_data: value count does not match shape " +
+                                shape_to_string(shape));
+  }
+  Tensor t{std::move(shape), requires_grad};
+  t.impl_->data = std::move(values);
+  return t;
+}
+
+Tensor Tensor::randn(Rng& rng, Shape shape, float stddev, bool requires_grad) {
+  Tensor t{std::move(shape), requires_grad};
+  for (float& v : t.impl_->data) v = rng.gaussian_float(0.0F, stddev);
+  return t;
+}
+
+std::int64_t Tensor::dim(std::size_t i) const {
+  const Shape& s = checked().shape;
+  if (i >= s.size()) throw std::out_of_range("Tensor::dim index out of range");
+  return s[i];
+}
+
+float Tensor::item() const {
+  if (numel() != 1) {
+    throw std::logic_error("Tensor::item requires a scalar, got " +
+                           shape_to_string(shape()));
+  }
+  return checked().data[0];
+}
+
+std::span<float> Tensor::grad() {
+  TensorImpl& impl = checked();
+  impl.ensure_grad();
+  return {impl.grad.data(), impl.grad.size()};
+}
+
+void Tensor::zero_grad() {
+  TensorImpl& impl = checked();
+  std::fill(impl.grad.begin(), impl.grad.end(), 0.0F);
+}
+
+Tensor Tensor::detach() const {
+  const TensorImpl& impl = checked();
+  Tensor t{impl.shape, false};
+  t.impl_->data = impl.data;
+  return t;
+}
+
+Tensor Tensor::clone() const {
+  const TensorImpl& impl = checked();
+  Tensor t{impl.shape, impl.requires_grad};
+  t.impl_->data = impl.data;
+  return t;
+}
+
+void Tensor::fill(float value) {
+  TensorImpl& impl = checked();
+  std::fill(impl.data.begin(), impl.data.end(), value);
+}
+
+void Tensor::copy_from(std::span<const float> values) {
+  TensorImpl& impl = checked();
+  if (values.size() != impl.data.size()) {
+    throw std::invalid_argument("copy_from: size mismatch");
+  }
+  std::copy(values.begin(), values.end(), impl.data.begin());
+}
+
+void Tensor::backward() {
+  TensorImpl& root = checked();
+  if (shape_numel(root.shape) != 1) {
+    throw std::logic_error("backward() requires a scalar loss");
+  }
+  if (!root.requires_grad) {
+    throw std::logic_error("backward() on a tensor that does not require grad");
+  }
+
+  // Topological order via iterative post-order DFS over the parent edges.
+  std::vector<TensorImpl*> order;
+  std::unordered_set<TensorImpl*> visited;
+  std::vector<std::pair<TensorImpl*, std::size_t>> stack;
+  stack.emplace_back(&root, 0);
+  visited.insert(&root);
+  while (!stack.empty()) {
+    auto& [node, next_child] = stack.back();
+    if (next_child < node->parents.size()) {
+      TensorImpl* child = node->parents[next_child].get();
+      ++next_child;
+      if (child != nullptr && child->requires_grad && !visited.contains(child)) {
+        visited.insert(child);
+        stack.emplace_back(child, 0);
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+
+  root.ensure_grad();
+  root.grad[0] = 1.0F;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    TensorImpl* node = *it;
+    if (node->grad_fn) node->grad_fn();
+  }
+}
+
+void set_grad_fn(Tensor& out, std::vector<Tensor> parents, std::function<void()> fn) {
+  if (!autograd_enabled()) return;
+  bool any_requires = false;
+  for (const Tensor& p : parents) {
+    if (p.defined() && p.requires_grad()) {
+      any_requires = true;
+      break;
+    }
+  }
+  if (!any_requires) return;
+
+  TensorImpl* impl = out.raw();
+  impl->requires_grad = true;
+  impl->grad_fn = std::move(fn);
+  impl->parents.reserve(parents.size());
+  for (Tensor& p : parents) {
+    if (p.defined()) impl->parents.push_back(p.impl());
+  }
+}
+
+}  // namespace sdd

@@ -1,0 +1,122 @@
+// Tensor: a small float32 tensor with tape-based reverse-mode autograd.
+//
+// Design notes
+//  - Row-major contiguous storage, shapes are vectors of int64_t.
+//  - `Tensor` is a cheap value type: a shared_ptr to a TensorImpl. Ops that
+//    participate in autograd record a closure (`grad_fn`) on the *output*
+//    impl; the closure captures the input Tensors (keeping the upstream graph
+//    alive) and a raw pointer to the output impl (safe: the closure is owned
+//    by that very impl, so it can never outlive it).
+//  - backward() topologically sorts the reachable graph and runs closures in
+//    reverse order, accumulating into `.grad()` buffers.
+//  - Gradients are only tracked while `autograd_enabled()` is true; decoding
+//    and evaluation wrap themselves in a NoGradGuard.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace sdd {
+
+using Shape = std::vector<std::int64_t>;
+
+std::int64_t shape_numel(const Shape& shape);
+std::string shape_to_string(const Shape& shape);
+
+// Global autograd switch (thread-local so evaluation threads are independent).
+bool autograd_enabled() noexcept;
+
+class NoGradGuard {
+ public:
+  NoGradGuard() noexcept;
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+struct TensorImpl {
+  Shape shape;
+  std::vector<float> data;
+  std::vector<float> grad;  // allocated lazily on first accumulation
+  bool requires_grad = false;
+
+  // Autograd tape entry.
+  std::function<void()> grad_fn;       // propagates impl->grad to parents
+  std::vector<std::shared_ptr<TensorImpl>> parents;
+
+  void ensure_grad();
+};
+
+class Tensor {
+ public:
+  Tensor() = default;  // empty (falsy) tensor
+  Tensor(Shape shape, bool requires_grad);
+
+  static Tensor zeros(Shape shape, bool requires_grad = false);
+  static Tensor full(Shape shape, float value, bool requires_grad = false);
+  static Tensor from_data(std::vector<float> values, Shape shape,
+                          bool requires_grad = false);
+  static Tensor randn(Rng& rng, Shape shape, float stddev,
+                      bool requires_grad = false);
+
+  bool defined() const noexcept { return impl_ != nullptr; }
+  explicit operator bool() const noexcept { return defined(); }
+
+  const Shape& shape() const { return checked().shape; }
+  std::int64_t dim(std::size_t i) const;
+  std::size_t ndim() const { return checked().shape.size(); }
+  std::int64_t numel() const { return shape_numel(checked().shape); }
+  bool requires_grad() const { return checked().requires_grad; }
+
+  std::span<float> data() { return {checked().data.data(), checked().data.size()}; }
+  std::span<const float> data() const {
+    return {checked().data.data(), checked().data.size()};
+  }
+  float item() const;  // requires numel() == 1
+
+  // Gradient buffer; allocates (zero-filled) on first access.
+  std::span<float> grad();
+  bool has_grad() const { return !checked().grad.empty(); }
+  void zero_grad();
+
+  // Reverse-mode sweep seeded with d(out)/d(out)=1. Requires numel()==1.
+  void backward();
+
+  // A copy of the values with no autograd history.
+  Tensor detach() const;
+  // Deep copy including requires_grad (fresh leaf).
+  Tensor clone() const;
+
+  // In-place value mutation helpers (leaf tensors only — parameters).
+  void fill(float value);
+  void copy_from(std::span<const float> values);
+
+  std::shared_ptr<TensorImpl> impl() const { return impl_; }
+  TensorImpl* raw() const { return impl_.get(); }
+
+ private:
+  TensorImpl& checked() const {
+    if (!impl_) throw std::logic_error("use of undefined Tensor");
+    return *impl_;
+  }
+
+  std::shared_ptr<TensorImpl> impl_;
+};
+
+// Register `out = fn(parents...)` on the tape. No-op when autograd is off or
+// no parent requires grad; in that case the output does not require grad.
+void set_grad_fn(Tensor& out, std::vector<Tensor> parents,
+                 std::function<void()> fn);
+
+}  // namespace sdd

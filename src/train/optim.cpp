@@ -1,0 +1,78 @@
+#include "train/optim.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace sdd::train {
+
+AdamW::AdamW(nn::ParamList params, AdamWConfig config)
+    : params_{std::move(params)}, config_{config} {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const nn::NamedParam& p : params_) {
+    const auto n = static_cast<std::size_t>(p.tensor.numel());
+    m_.emplace_back(n, 0.0F);
+    v_.emplace_back(n, 0.0F);
+  }
+}
+
+void AdamW::zero_grad() {
+  for (nn::NamedParam& p : params_) p.tensor.zero_grad();
+}
+
+float AdamW::clip_gradients(float max_norm) {
+  double total_sq = 0.0;
+  for (nn::NamedParam& p : params_) {
+    for (float g : p.tensor.grad()) total_sq += static_cast<double>(g) * g;
+  }
+  const auto norm = static_cast<float>(std::sqrt(total_sq));
+  if (norm > max_norm && norm > 0.0F) {
+    const float scale = max_norm / norm;
+    for (nn::NamedParam& p : params_) {
+      for (float& g : p.tensor.grad()) g *= scale;
+    }
+  }
+  return norm;
+}
+
+void AdamW::step(float lr) {
+  ++step_count_;
+  const auto t = static_cast<float>(step_count_);
+  const float bias1 = 1.0F - std::pow(config_.beta1, t);
+  const float bias2 = 1.0F - std::pow(config_.beta2, t);
+
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    nn::NamedParam& p = params_[i];
+    auto data = p.tensor.data();
+    const auto grad = p.tensor.grad();
+    std::vector<float>& m = m_[i];
+    std::vector<float>& v = v_[i];
+    for (std::size_t j = 0; j < data.size(); ++j) {
+      const float g = grad[j];
+      m[j] = config_.beta1 * m[j] + (1.0F - config_.beta1) * g;
+      v[j] = config_.beta2 * v[j] + (1.0F - config_.beta2) * g * g;
+      const float m_hat = m[j] / bias1;
+      const float v_hat = v[j] / bias2;
+      // Decoupled weight decay (AdamW): decay applied directly to weights.
+      data[j] -= lr * (m_hat / (std::sqrt(v_hat) + config_.eps) +
+                       config_.weight_decay * data[j]);
+    }
+  }
+}
+
+float cosine_lr(std::int64_t step, std::int64_t total_steps, std::int64_t warmup_steps,
+                float base_lr, float min_lr) {
+  if (total_steps <= 0) throw std::invalid_argument("cosine_lr: total_steps <= 0");
+  if (step < warmup_steps && warmup_steps > 0) {
+    return base_lr * static_cast<float>(step + 1) / static_cast<float>(warmup_steps);
+  }
+  const auto progress =
+      static_cast<double>(step - warmup_steps) /
+      static_cast<double>(std::max<std::int64_t>(1, total_steps - warmup_steps));
+  const double clamped = std::min(1.0, std::max(0.0, progress));
+  const double cosine = 0.5 * (1.0 + std::cos(std::numbers::pi * clamped));
+  return min_lr + (base_lr - min_lr) * static_cast<float>(cosine);
+}
+
+}  // namespace sdd::train

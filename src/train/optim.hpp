@@ -1,0 +1,60 @@
+// AdamW optimizer (decoupled weight decay), gradient clipping, and the cosine
+// learning-rate schedule with linear warmup used by all fine-tuning runs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/module.hpp"
+#include "util/hash.hpp"
+
+namespace sdd::train {
+
+struct AdamWConfig {
+  float lr = 1e-3F;
+  float beta1 = 0.9F;
+  float beta2 = 0.95F;
+  float eps = 1e-8F;
+  float weight_decay = 0.01F;
+
+  std::uint64_t hash() const {
+    std::uint64_t h = kFnvOffset;
+    h = fnv1a_value(lr, h);
+    h = fnv1a_value(beta1, h);
+    h = fnv1a_value(beta2, h);
+    h = fnv1a_value(eps, h);
+    h = fnv1a_value(weight_decay, h);
+    return h;
+  }
+};
+
+class AdamW {
+ public:
+  AdamW(nn::ParamList params, AdamWConfig config);
+
+  // One update using the supplied learning rate (callers pass the scheduled
+  // value each step; config.lr is the default).
+  void step(float lr);
+  void step() { step(config_.lr); }
+
+  void zero_grad();
+
+  // Global-norm gradient clipping; returns the pre-clip norm.
+  float clip_gradients(float max_norm);
+
+  const AdamWConfig& config() const { return config_; }
+  std::int64_t step_count() const { return step_count_; }
+
+ private:
+  nn::ParamList params_;
+  AdamWConfig config_;
+  std::vector<std::vector<float>> m_;  // first moments, parallel to params_
+  std::vector<std::vector<float>> v_;  // second moments
+  std::int64_t step_count_ = 0;
+};
+
+// Linear warmup to `base_lr`, then cosine decay to `min_lr` at `total_steps`.
+float cosine_lr(std::int64_t step, std::int64_t total_steps, std::int64_t warmup_steps,
+                float base_lr, float min_lr);
+
+}  // namespace sdd::train

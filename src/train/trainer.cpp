@@ -1,0 +1,185 @@
+#include "train/trainer.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+#include "util/log.hpp"
+
+namespace sdd::train {
+namespace {
+
+float tail_mean(const std::vector<float>& losses) {
+  if (losses.empty()) return 0.0F;
+  const std::size_t tail = std::max<std::size_t>(1, losses.size() / 10);
+  const auto begin = losses.end() - static_cast<std::ptrdiff_t>(tail);
+  return std::accumulate(begin, losses.end(), 0.0F) / static_cast<float>(tail);
+}
+
+}  // namespace
+
+SftBatch pack_sft_batch(const std::vector<const data::SftExample*>& examples,
+                        data::TokenId pad_token, std::int64_t max_len) {
+  SftBatch batch;
+  batch.batch = static_cast<std::int64_t>(examples.size());
+  std::int64_t longest = 0;
+  for (const data::SftExample* example : examples) {
+    longest = std::max(longest, static_cast<std::int64_t>(example->prompt.size() +
+                                                          example->target.size()));
+  }
+  batch.seq = std::min(longest, max_len);
+  const auto total = static_cast<std::size_t>(batch.batch * batch.seq);
+  batch.inputs.assign(total, pad_token);
+  batch.targets.assign(total, 0);
+  batch.weights.assign(total, 0.0F);
+
+  for (std::int64_t b = 0; b < batch.batch; ++b) {
+    const data::SftExample& example = *examples[static_cast<std::size_t>(b)];
+    std::vector<data::TokenId> row{example.prompt};
+    row.insert(row.end(), example.target.begin(), example.target.end());
+    const auto row_len = std::min<std::int64_t>(
+        static_cast<std::int64_t>(row.size()), batch.seq);
+    const auto prompt_len = static_cast<std::int64_t>(example.prompt.size());
+    for (std::int64_t t = 0; t < row_len; ++t) {
+      batch.inputs[static_cast<std::size_t>(b * batch.seq + t)] =
+          row[static_cast<std::size_t>(t)];
+    }
+    // Position t predicts row[t+1]; only response-token predictions count.
+    for (std::int64_t t = 0; t + 1 < row_len; ++t) {
+      const std::size_t flat = static_cast<std::size_t>(b * batch.seq + t);
+      batch.targets[flat] = row[static_cast<std::size_t>(t + 1)];
+      if (t + 1 >= prompt_len) batch.weights[flat] = 1.0F;
+    }
+  }
+  return batch;
+}
+
+namespace {
+
+float sft_batch_loss(const nn::TransformerLM& model, const SftBatch& batch,
+                     Tensor* out_loss) {
+  const Tensor logits = model.forward(batch.inputs, batch.batch, batch.seq);
+  Tensor loss = ops::cross_entropy(logits, batch.targets, batch.weights);
+  const float value = loss.item();
+  if (out_loss != nullptr) *out_loss = loss;
+  return value;
+}
+
+}  // namespace
+
+TrainStats pretrain(nn::TransformerLM& model, std::span<const data::TokenId> stream,
+                    const PretrainConfig& config) {
+  if (static_cast<std::int64_t>(stream.size()) < config.seq_len + 2) {
+    throw std::invalid_argument("pretrain: stream shorter than one window");
+  }
+  AdamW optimizer{model.trainable_parameters(), config.optimizer};
+  Rng rng{config.seed};
+  TrainStats stats;
+  stats.losses.reserve(static_cast<std::size_t>(config.steps));
+
+  const std::int64_t max_start =
+      static_cast<std::int64_t>(stream.size()) - config.seq_len - 1;
+  std::vector<data::TokenId> inputs(
+      static_cast<std::size_t>(config.batch_size * config.seq_len));
+  std::vector<std::int32_t> targets(inputs.size());
+  const std::vector<float> weights(inputs.size(), 1.0F);
+
+  for (std::int64_t step = 0; step < config.steps; ++step) {
+    for (std::int64_t b = 0; b < config.batch_size; ++b) {
+      const std::int64_t start = rng.uniform_int(0, max_start);
+      for (std::int64_t t = 0; t < config.seq_len; ++t) {
+        const auto flat = static_cast<std::size_t>(b * config.seq_len + t);
+        inputs[flat] = stream[static_cast<std::size_t>(start + t)];
+        targets[flat] = stream[static_cast<std::size_t>(start + t + 1)];
+      }
+    }
+    const Tensor logits = model.forward(inputs, config.batch_size, config.seq_len);
+    Tensor loss = ops::cross_entropy(logits, targets, weights);
+    const float loss_value = loss.item();
+    optimizer.zero_grad();
+    loss.backward();
+    optimizer.clip_gradients(config.clip_norm);
+    const float lr =
+        cosine_lr(step, config.steps, config.warmup_steps, config.optimizer.lr,
+                  config.optimizer.lr * config.min_lr_fraction);
+    optimizer.step(lr);
+
+    stats.losses.push_back(loss_value);
+    if (step == 0) stats.initial_loss = loss_value;
+    if (config.log_every > 0 && (step % config.log_every == 0)) {
+      log_info("pretrain step ", step, "/", config.steps, " loss=", loss_value);
+    }
+  }
+  stats.final_loss = tail_mean(stats.losses);
+  return stats;
+}
+
+TrainStats sft_train(nn::TransformerLM& model, const data::SftDataset& dataset,
+                     const SftTrainConfig& config) {
+  if (dataset.examples.empty()) {
+    throw std::invalid_argument("sft_train: empty dataset");
+  }
+  AdamW optimizer{model.trainable_parameters(), config.optimizer};
+  Rng rng{config.seed};
+  TrainStats stats;
+
+  const auto n = static_cast<std::int64_t>(dataset.examples.size());
+  const std::int64_t steps_per_epoch =
+      std::max<std::int64_t>(1, n / config.batch_size);
+  const std::int64_t steps =
+      std::min(config.max_steps, config.epochs * steps_per_epoch);
+  const std::int64_t max_len = model.config().max_seq_len;
+
+  for (std::int64_t step = 0; step < steps; ++step) {
+    std::vector<const data::SftExample*> picked;
+    picked.reserve(static_cast<std::size_t>(config.batch_size));
+    for (std::int64_t b = 0; b < config.batch_size; ++b) {
+      picked.push_back(&dataset.examples[rng.index(dataset.examples.size())]);
+    }
+    const SftBatch batch =
+        pack_sft_batch(picked, data::Vocab::instance().pad(), max_len);
+
+    Tensor loss;
+    const float loss_value = sft_batch_loss(model, batch, &loss);
+    optimizer.zero_grad();
+    loss.backward();
+    optimizer.clip_gradients(config.clip_norm);
+    const float lr = cosine_lr(step, steps, config.warmup_steps, config.optimizer.lr,
+                               config.optimizer.lr * config.min_lr_fraction);
+    optimizer.step(lr);
+
+    stats.losses.push_back(loss_value);
+    if (step == 0) stats.initial_loss = loss_value;
+    if (config.log_every > 0 && (step % config.log_every == 0)) {
+      log_info("sft[", dataset.name, "] step ", step, "/", steps,
+               " loss=", loss_value);
+    }
+  }
+  stats.final_loss = tail_mean(stats.losses);
+  return stats;
+}
+
+float sft_loss(const nn::TransformerLM& model, const data::SftDataset& dataset,
+               std::int64_t max_examples, std::int64_t batch_size) {
+  NoGradGuard no_grad;
+  const auto n = std::min<std::int64_t>(
+      max_examples, static_cast<std::int64_t>(dataset.examples.size()));
+  if (n == 0) throw std::invalid_argument("sft_loss: empty dataset");
+  double total = 0.0;
+  std::int64_t batches = 0;
+  for (std::int64_t begin = 0; begin < n; begin += batch_size) {
+    const std::int64_t end = std::min(n, begin + batch_size);
+    std::vector<const data::SftExample*> picked;
+    for (std::int64_t i = begin; i < end; ++i) {
+      picked.push_back(&dataset.examples[static_cast<std::size_t>(i)]);
+    }
+    const SftBatch batch = pack_sft_batch(picked, data::Vocab::instance().pad(),
+                                          model.config().max_seq_len);
+    total += sft_batch_loss(model, batch, nullptr);
+    ++batches;
+  }
+  return static_cast<float>(total / static_cast<double>(batches));
+}
+
+}  // namespace sdd::train

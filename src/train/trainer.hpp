@@ -1,0 +1,86 @@
+// Training loops: next-token pre-training over a corpus stream and masked
+// supervised fine-tuning over (prompt, target) examples.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/sft.hpp"
+#include "data/vocab.hpp"
+#include "nn/transformer.hpp"
+#include "train/optim.hpp"
+
+namespace sdd::train {
+
+struct TrainStats {
+  std::vector<float> losses;       // loss at every step
+  float initial_loss = 0.0F;
+  float final_loss = 0.0F;         // mean over the last 10% of steps
+};
+
+// A packed fine-tuning batch: padded [prompt target] rows with next-token
+// targets and weights masking everything but response-token predictions.
+// Exposed so distillation-style trainers (core/kd) can reuse the packing.
+struct SftBatch {
+  std::vector<data::TokenId> inputs;
+  std::vector<std::int32_t> targets;
+  std::vector<float> weights;
+  std::int64_t batch = 0;
+  std::int64_t seq = 0;
+};
+
+SftBatch pack_sft_batch(const std::vector<const data::SftExample*>& examples,
+                        data::TokenId pad_token, std::int64_t max_len);
+
+struct PretrainConfig {
+  std::int64_t steps = 1200;
+  std::int64_t batch_size = 8;
+  std::int64_t seq_len = 80;
+  std::int64_t warmup_steps = 50;
+  float clip_norm = 1.0F;
+  float min_lr_fraction = 0.1F;
+  AdamWConfig optimizer{.lr = 3e-3F};
+  std::uint64_t seed = 1;
+  std::int64_t log_every = 100;  // 0 disables progress logging
+};
+
+TrainStats pretrain(nn::TransformerLM& model, std::span<const data::TokenId> stream,
+                    const PretrainConfig& config);
+
+struct SftTrainConfig {
+  std::int64_t epochs = 3;
+  std::int64_t max_steps = 400;   // hard cap; actual steps = min(cap, epochs*n/batch)
+  std::int64_t batch_size = 8;
+  std::int64_t warmup_steps = 10;
+  float clip_norm = 1.0F;
+  float min_lr_fraction = 0.1F;
+  AdamWConfig optimizer{.lr = 1e-3F};
+  std::uint64_t seed = 2;
+  std::int64_t log_every = 0;
+
+  std::uint64_t hash() const {
+    std::uint64_t h = optimizer.hash();
+    h = fnv1a_value(epochs, h);
+    h = fnv1a_value(max_steps, h);
+    h = fnv1a_value(batch_size, h);
+    h = fnv1a_value(warmup_steps, h);
+    h = fnv1a_value(clip_norm, h);
+    h = fnv1a_value(min_lr_fraction, h);
+    h = fnv1a_value(seed, h);
+    return h;
+  }
+};
+
+// Fine-tune on the dataset with the loss masked to target tokens only
+// (negative log-likelihood of the response given the prompt, paper §2.2).
+// Trains whatever `model.trainable_parameters()` returns, so it covers both
+// full fine-tuning and LoRA fine-tuning transparently.
+TrainStats sft_train(nn::TransformerLM& model, const data::SftDataset& dataset,
+                     const SftTrainConfig& config);
+
+// Mean masked NLL of the dataset under the model (no updates); used by tests
+// and by the catastrophic-forgetting diagnostics.
+float sft_loss(const nn::TransformerLM& model, const data::SftDataset& dataset,
+               std::int64_t max_examples, std::int64_t batch_size = 8);
+
+}  // namespace sdd::train

@@ -1,0 +1,38 @@
+#include "util/env.hpp"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace sdd {
+
+std::int64_t env_int(const char* name, std::int64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value, &end, 10);
+  if (end == value || *end != '\0') return fallback;
+  return parsed;
+}
+
+double env_double(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  if (end == value || *end != '\0') return fallback;
+  return parsed;
+}
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr && *value != '\0' ? std::string{value} : fallback;
+}
+
+bool env_flag(const char* name, bool fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  const std::string_view v{value};
+  return v == "1" || v == "true" || v == "on" || v == "yes";
+}
+
+}  // namespace sdd

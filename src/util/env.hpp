@@ -1,0 +1,15 @@
+// Environment-variable configuration knobs shared by benches and examples.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sdd {
+
+// Returns the environment variable value or `fallback` when unset/unparsable.
+std::int64_t env_int(const char* name, std::int64_t fallback);
+double env_double(const char* name, double fallback);
+std::string env_string(const char* name, const std::string& fallback);
+bool env_flag(const char* name, bool fallback);
+
+}  // namespace sdd

@@ -1,0 +1,17 @@
+#include "util/hash.hpp"
+
+#include <array>
+
+namespace sdd {
+
+std::string hash_hex(std::uint64_t hash) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::array<char, 16> buffer{};
+  for (int i = 15; i >= 0; --i) {
+    buffer[static_cast<std::size_t>(i)] = kDigits[hash & 0xF];
+    hash >>= 4;
+  }
+  return std::string{buffer.data(), buffer.size()};
+}
+
+}  // namespace sdd

@@ -1,0 +1,53 @@
+// Small hashing utilities used for experiment cache keys.
+//
+// Cache keys must be stable across runs and across rebuilds, so we use FNV-1a
+// (fixed algorithm) rather than std::hash (implementation defined).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace sdd {
+
+constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001B3ULL;
+
+constexpr std::uint64_t fnv1a(std::string_view bytes,
+                              std::uint64_t seed = kFnvOffset) noexcept {
+  std::uint64_t hash = seed;
+  for (char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+inline std::uint64_t fnv1a_bytes(std::span<const std::byte> bytes,
+                                 std::uint64_t seed = kFnvOffset) noexcept {
+  std::uint64_t hash = seed;
+  for (std::byte b : bytes) {
+    hash ^= static_cast<unsigned char>(b);
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept {
+  // boost-style mix adapted to 64 bits.
+  return a ^ (b + 0x9E3779B97F4A7C15ULL + (a << 12) + (a >> 4));
+}
+
+// Hash of a trivially copyable value (used for config structs' scalar fields).
+template <typename T>
+std::uint64_t fnv1a_value(const T& value, std::uint64_t seed = kFnvOffset) noexcept {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const auto* bytes = reinterpret_cast<const std::byte*>(&value);
+  return fnv1a_bytes({bytes, sizeof(T)}, seed);
+}
+
+// Short hex string form for file names.
+std::string hash_hex(std::uint64_t hash);
+
+}  // namespace sdd

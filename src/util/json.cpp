@@ -1,0 +1,140 @@
+#include "util/json.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace sdd {
+
+std::string JsonWriter::escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::before_value() {
+  if (!stack_.empty() && stack_.back() == 'o') {
+    throw std::logic_error("JsonWriter: value requires a key inside an object");
+  }
+  if (needs_comma_) out_ << ',';
+  if (!stack_.empty() && stack_.back() == 'v') {
+    stack_.back() = 'o';       // value consumed; next comes a key
+    needs_comma_ = true;
+    return;
+  }
+  needs_comma_ = true;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_ << '{';
+  stack_.push_back('o');
+  needs_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  if (stack_.empty() || stack_.back() != 'o') {
+    throw std::logic_error("JsonWriter: end_object outside object");
+  }
+  stack_.pop_back();
+  out_ << '}';
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_ << '[';
+  stack_.push_back('a');
+  needs_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  if (stack_.empty() || stack_.back() != 'a') {
+    throw std::logic_error("JsonWriter: end_array outside array");
+  }
+  stack_.pop_back();
+  out_ << ']';
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  if (stack_.empty() || stack_.back() != 'o') {
+    throw std::logic_error("JsonWriter: key outside object");
+  }
+  if (needs_comma_) out_ << ',';
+  out_ << '"' << escape(name) << "\":";
+  stack_.back() = 'v';
+  needs_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  before_value();
+  out_ << '"' << escape(text) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  before_value();
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.10g", number);
+  out_ << buffer;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+  before_value();
+  out_ << number;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  before_value();
+  out_ << (flag ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  out_ << "null";
+  return *this;
+}
+
+std::string JsonWriter::str() const {
+  if (!stack_.empty()) {
+    throw std::logic_error("JsonWriter: unterminated containers");
+  }
+  return out_.str();
+}
+
+}  // namespace sdd

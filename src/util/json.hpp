@@ -1,0 +1,55 @@
+// Minimal JSON writer for machine-readable experiment reports.
+//
+// Only what the report module needs: objects, arrays, strings, numbers,
+// booleans, correct escaping, and stable formatting. No parsing.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sdd {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  // Keys are only legal inside objects; values inside arrays or after a key.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text) { return value(std::string_view{text}); }
+  JsonWriter& value(double number);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(int number) { return value(static_cast<std::int64_t>(number)); }
+  JsonWriter& value(bool flag);
+  JsonWriter& null();
+
+  // Convenience: key + value in one call.
+  template <typename T>
+  JsonWriter& field(std::string_view name, const T& v) {
+    key(name);
+    return value(v);
+  }
+
+  // Finished document (throws if containers are still open).
+  std::string str() const;
+
+  static std::string escape(std::string_view text);
+
+ private:
+  void before_value();
+
+  std::ostringstream out_;
+  // Container stack: 'o' = object (expecting key), 'v' = object (expecting
+  // value), 'a' = array.
+  std::vector<char> stack_;
+  bool needs_comma_ = false;
+};
+
+}  // namespace sdd

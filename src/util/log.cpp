@@ -1,0 +1,64 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace sdd {
+namespace {
+
+LogLevel level_from_env() {
+  const char* env = std::getenv("SDD_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kInfo;
+  const std::string_view value{env};
+  if (value == "debug") return LogLevel::kDebug;
+  if (value == "info") return LogLevel::kInfo;
+  if (value == "warn") return LogLevel::kWarn;
+  if (value == "error") return LogLevel::kError;
+  if (value == "off") return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+std::atomic<LogLevel>& level_storage() noexcept {
+  static std::atomic<LogLevel> level{level_from_env()};
+  return level;
+}
+
+constexpr const char* level_tag(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF  ";
+  }
+  return "?    ";
+}
+
+}  // namespace
+
+LogLevel log_level() noexcept { return level_storage().load(std::memory_order_relaxed); }
+
+void set_log_level(LogLevel level) noexcept {
+  level_storage().store(level, std::memory_order_relaxed);
+}
+
+void log_message(LogLevel level, std::string_view message) {
+  static std::mutex mutex;
+  const auto now = std::chrono::system_clock::now();
+  const auto seconds = std::chrono::duration_cast<std::chrono::duration<double>>(
+                           now.time_since_epoch())
+                           .count();
+  const std::lock_guard<std::mutex> lock{mutex};
+  std::fprintf(stderr, "[%12.3f] %s %.*s\n", seconds, level_tag(level),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace sdd

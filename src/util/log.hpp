@@ -1,0 +1,49 @@
+// Minimal leveled logger.
+//
+// Benches and examples use this to narrate long-running pipelines; tests keep
+// it quiet by default via SDD_LOG_LEVEL.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace sdd {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Global threshold. Initialized from the SDD_LOG_LEVEL environment variable
+// (debug|info|warn|error|off); defaults to info.
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+void log_message(LogLevel level, std::string_view message);
+
+namespace detail {
+template <typename... Args>
+void log_fmt(LogLevel level, const Args&... args) {
+  if (level < log_level()) return;
+  std::ostringstream out;
+  (out << ... << args);
+  log_message(level, out.str());
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(const Args&... args) {
+  detail::log_fmt(LogLevel::kDebug, args...);
+}
+template <typename... Args>
+void log_info(const Args&... args) {
+  detail::log_fmt(LogLevel::kInfo, args...);
+}
+template <typename... Args>
+void log_warn(const Args&... args) {
+  detail::log_fmt(LogLevel::kWarn, args...);
+}
+template <typename... Args>
+void log_error(const Args&... args) {
+  detail::log_fmt(LogLevel::kError, args...);
+}
+
+}  // namespace sdd

@@ -1,0 +1,177 @@
+// Deterministic pseudo-random number generation for reproducible experiments.
+//
+// Every experiment in this repository is seeded; the same seed always produces
+// the same corpus, the same initialization, and the same decoding choices.
+// We use xoshiro256** (Blackman & Vigna) seeded through SplitMix64, which is
+// fast, has a 256-bit state, and passes BigCrush.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+#include <span>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace sdd {
+
+// SplitMix64: used to expand a single 64-bit seed into the xoshiro state.
+// Also usable directly as a tiny stateless mixer for hashing-like needs.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256** random generator with convenience distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5DDD5EEDULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+    cached_gaussian_valid_ = false;
+  }
+
+  // Derive an independent child generator; `stream` distinguishes siblings.
+  [[nodiscard]] Rng fork(std::uint64_t stream) const noexcept {
+    std::uint64_t mix = state_[0] ^ (state_[3] + 0x9E3779B97F4A7C15ULL * (stream + 1));
+    return Rng{mix};
+  }
+
+  std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // UniformRandomBitGenerator interface (usable with <algorithm> shuffles).
+  std::uint64_t operator()() noexcept { return next_u64(); }
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept { return ~0ULL; }
+
+  // Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  double uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
+
+  float uniform_float(float lo, float hi) noexcept {
+    return static_cast<float>(uniform(lo, hi));
+  }
+
+  // Uniform integer in [lo, hi] (inclusive). Uses Lemire-style rejection-free
+  // multiply-shift; bias is negligible for the ranges used here.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+    const auto range = static_cast<std::uint64_t>(hi - lo) + 1ULL;
+    const auto value = static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next_u64()) * range) >> 64);
+    return lo + static_cast<std::int64_t>(value);
+  }
+
+  std::size_t index(std::size_t n) noexcept {
+    return static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(n) - 1));
+  }
+
+  bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  // Standard normal via Box-Muller with one cached deviate.
+  double gaussian() noexcept {
+    if (cached_gaussian_valid_) {
+      cached_gaussian_valid_ = false;
+      return cached_gaussian_;
+    }
+    double u1 = uniform();
+    while (u1 <= 1e-300) u1 = uniform();
+    const double u2 = uniform();
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    const double angle = 2.0 * std::numbers::pi * u2;
+    cached_gaussian_ = radius * std::sin(angle);
+    cached_gaussian_valid_ = true;
+    return radius * std::cos(angle);
+  }
+
+  double gaussian(double mean, double stddev) noexcept {
+    return mean + stddev * gaussian();
+  }
+
+  float gaussian_float(float mean, float stddev) noexcept {
+    return static_cast<float>(gaussian(mean, stddev));
+  }
+
+  // Sample an index proportionally to non-negative weights.
+  std::size_t weighted_index(std::span<const double> weights) {
+    double total = 0.0;
+    for (double w : weights) total += w;
+    if (total <= 0.0) throw std::invalid_argument("weighted_index: weights sum to zero");
+    double target = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      target -= weights[i];
+      if (target < 0.0) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  std::size_t weighted_index(std::span<const float> weights) {
+    std::vector<double> as_double(weights.begin(), weights.end());
+    return weighted_index(std::span<const double>{as_double});
+  }
+
+  template <typename T>
+  const T& choice(std::span<const T> items) {
+    if (items.empty()) throw std::invalid_argument("choice: empty span");
+    return items[index(items.size())];
+  }
+
+  template <typename T>
+  const T& choice(const std::vector<T>& items) {
+    return choice(std::span<const T>{items});
+  }
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      using std::swap;
+      swap(items[i - 1], items[index(i)]);
+    }
+  }
+
+  // Sample `k` distinct indices from [0, n) in random order.
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k) {
+    if (k > n) throw std::invalid_argument("sample_indices: k > n");
+    std::vector<std::size_t> all(n);
+    for (std::size_t i = 0; i < n; ++i) all[i] = i;
+    // Partial Fisher-Yates: only the first k slots need to be randomized.
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t j = i + index(n - i);
+      std::swap(all[i], all[j]);
+    }
+    all.resize(k);
+    return all;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+  double cached_gaussian_ = 0.0;
+  bool cached_gaussian_valid_ = false;
+};
+
+}  // namespace sdd

@@ -1,0 +1,69 @@
+#include "util/serialize.hpp"
+
+namespace sdd {
+
+BinaryWriter::BinaryWriter(const std::filesystem::path& path)
+    : out_{path, std::ios::binary | std::ios::trunc}, path_{path} {
+  if (!out_) throw SerializeError("cannot open for writing: " + path.string());
+}
+
+void BinaryWriter::write_magic(std::string_view magic, std::uint32_t version) {
+  out_.write(magic.data(), static_cast<std::streamsize>(magic.size()));
+  write_u32(version);
+  check("write_magic");
+}
+
+void BinaryWriter::write_string(std::string_view s) {
+  write_u64(s.size());
+  out_.write(s.data(), static_cast<std::streamsize>(s.size()));
+  check("write_string");
+}
+
+void BinaryWriter::flush() {
+  out_.flush();
+  check("flush");
+}
+
+void BinaryWriter::check(const char* what) {
+  if (!out_) {
+    throw SerializeError(std::string{"write failure ("} + what + ") on " + path_.string());
+  }
+}
+
+BinaryReader::BinaryReader(const std::filesystem::path& path)
+    : in_{path, std::ios::binary}, path_{path} {
+  if (!in_) throw SerializeError("cannot open for reading: " + path.string());
+}
+
+void BinaryReader::expect_magic(std::string_view magic, std::uint32_t version) {
+  std::string found(magic.size(), '\0');
+  in_.read(found.data(), static_cast<std::streamsize>(magic.size()));
+  check("expect_magic");
+  if (found != magic) {
+    throw SerializeError("bad magic in " + path_.string() + ": expected '" +
+                         std::string{magic} + "', found '" + found + "'");
+  }
+  const std::uint32_t file_version = read_u32();
+  if (file_version != version) {
+    throw SerializeError("version mismatch in " + path_.string() + ": expected " +
+                         std::to_string(version) + ", found " +
+                         std::to_string(file_version));
+  }
+}
+
+std::string BinaryReader::read_string() {
+  const std::uint64_t size = read_u64();
+  if (size > (1ULL << 30)) throw SerializeError("read_string: absurd size, corrupt file");
+  std::string s(size, '\0');
+  in_.read(s.data(), static_cast<std::streamsize>(size));
+  check("read_string");
+  return s;
+}
+
+void BinaryReader::check(const char* what) {
+  if (!in_) {
+    throw SerializeError(std::string{"read failure ("} + what + ") on " + path_.string());
+  }
+}
+
+}  // namespace sdd

@@ -1,0 +1,112 @@
+// Versioned binary serialization for model checkpoints and cached artifacts.
+//
+// The format is deliberately simple: little-endian POD fields, length-prefixed
+// strings and vectors, and a magic/version header per artifact kind so stale
+// cache files are rejected instead of misread.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace sdd {
+
+class SerializeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(const std::filesystem::path& path);
+
+  void write_magic(std::string_view magic, std::uint32_t version);
+
+  template <typename T>
+  void write_pod(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    out_.write(reinterpret_cast<const char*>(&value), sizeof(T));
+    check("write_pod");
+  }
+
+  void write_u32(std::uint32_t v) { write_pod(v); }
+  void write_u64(std::uint64_t v) { write_pod(v); }
+  void write_i64(std::int64_t v) { write_pod(v); }
+  void write_f32(float v) { write_pod(v); }
+  void write_f64(double v) { write_pod(v); }
+  void write_bool(bool v) { write_pod(static_cast<std::uint8_t>(v ? 1 : 0)); }
+
+  void write_string(std::string_view s);
+
+  template <typename T>
+  void write_vector(const std::vector<T>& values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    write_u64(values.size());
+    if (!values.empty()) {
+      out_.write(reinterpret_cast<const char*>(values.data()),
+                 static_cast<std::streamsize>(values.size() * sizeof(T)));
+    }
+    check("write_vector");
+  }
+
+  void flush();
+
+ private:
+  void check(const char* what);
+
+  std::ofstream out_;
+  std::filesystem::path path_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::filesystem::path& path);
+
+  // Throws SerializeError if the magic or version does not match.
+  void expect_magic(std::string_view magic, std::uint32_t version);
+
+  template <typename T>
+  T read_pod() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T value{};
+    in_.read(reinterpret_cast<char*>(&value), sizeof(T));
+    check("read_pod");
+    return value;
+  }
+
+  std::uint32_t read_u32() { return read_pod<std::uint32_t>(); }
+  std::uint64_t read_u64() { return read_pod<std::uint64_t>(); }
+  std::int64_t read_i64() { return read_pod<std::int64_t>(); }
+  float read_f32() { return read_pod<float>(); }
+  double read_f64() { return read_pod<double>(); }
+  bool read_bool() { return read_pod<std::uint8_t>() != 0; }
+
+  std::string read_string();
+
+  template <typename T>
+  std::vector<T> read_vector() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::uint64_t size = read_u64();
+    if (size > (1ULL << 33)) throw SerializeError("read_vector: absurd size, corrupt file");
+    std::vector<T> values(size);
+    if (size > 0) {
+      in_.read(reinterpret_cast<char*>(values.data()),
+               static_cast<std::streamsize>(size * sizeof(T)));
+    }
+    check("read_vector");
+    return values;
+  }
+
+ private:
+  void check(const char* what);
+
+  std::ifstream in_;
+  std::filesystem::path path_;
+};
+
+}  // namespace sdd

@@ -1,0 +1,99 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sdd {
+
+std::string format_float(double value, int decimals) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, value);
+  return std::string{buffer};
+}
+
+std::string format_percent(double fraction, int decimals) {
+  return format_float(fraction * 100.0, decimals) + "%";
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_{std::move(headers)} {
+  if (headers_.empty()) throw std::invalid_argument("TablePrinter: no headers");
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("TablePrinter: row has " + std::to_string(cells.size()) +
+                                " cells, expected " + std::to_string(headers_.size()));
+  }
+  rows_.push_back(Row{std::move(cells), false});
+}
+
+void TablePrinter::add_separator() { rows_.push_back(Row{{}, true}); }
+
+std::vector<std::size_t> TablePrinter::column_widths() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const Row& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+  return widths;
+}
+
+std::string TablePrinter::to_ascii() const {
+  const auto widths = column_widths();
+  std::ostringstream out;
+
+  const auto emit_line = [&](const std::vector<std::string>& cells) {
+    out << "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << ' ' << cells[c];
+      out << std::string(widths[c] - cells[c].size(), ' ') << " |";
+    }
+    out << '\n';
+  };
+  const auto emit_rule = [&] {
+    out << "+";
+    for (std::size_t width : widths) out << std::string(width + 2, '-') << "+";
+    out << '\n';
+  };
+
+  emit_rule();
+  emit_line(headers_);
+  emit_rule();
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      emit_rule();
+    } else {
+      emit_line(row.cells);
+    }
+  }
+  emit_rule();
+  return out.str();
+}
+
+std::string TablePrinter::to_markdown() const {
+  std::ostringstream out;
+  const auto emit_line = [&](const std::vector<std::string>& cells) {
+    out << "|";
+    for (const std::string& cell : cells) out << ' ' << cell << " |";
+    out << '\n';
+  };
+  emit_line(headers_);
+  out << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) out << "---|";
+  out << '\n';
+  for (const Row& row : rows_) {
+    if (!row.separator) emit_line(row.cells);
+  }
+  return out.str();
+}
+
+void TablePrinter::print(std::ostream& out) const { out << to_ascii(); }
+
+}  // namespace sdd

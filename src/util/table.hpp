@@ -1,0 +1,46 @@
+// ASCII / Markdown table rendering for benchmark reports.
+//
+// Every bench binary prints the same rows the paper's tables/figures report;
+// this utility keeps their formatting consistent and diff-friendly.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sdd {
+
+// Fixed-precision float formatting helper used throughout bench output.
+std::string format_float(double value, int decimals = 2);
+std::string format_percent(double fraction, int decimals = 2);  // 0.1630 -> "16.30%"
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  // Horizontal separator row (rendered as a dashed line in ASCII mode).
+  void add_separator();
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  // Render with aligned columns (ASCII pipes) or GitHub-flavored markdown.
+  std::string to_ascii() const;
+  std::string to_markdown() const;
+
+  void print(std::ostream& out) const;  // ASCII
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+
+  std::vector<std::size_t> column_widths() const;
+
+  std::vector<std::string> headers_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace sdd

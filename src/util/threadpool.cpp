@@ -1,0 +1,98 @@
+#include "util/threadpool.hpp"
+
+#include <algorithm>
+
+namespace sdd {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw > 1 ? hw - 1 : 0;
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::run_range(const Task& task) {
+  for (std::size_t i = task.begin; i < task.end; ++i) task.fn(i);
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& fn) {
+  if (begin >= end) return;
+  const std::size_t total = end - begin;
+  const std::size_t parts = std::min(total, workers_.size() + 1);
+  if (parts <= 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::size_t remaining = parts - 1;  // caller runs the last chunk itself
+
+  const std::size_t chunk = (total + parts - 1) / parts;
+  {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    for (std::size_t p = 0; p + 1 < parts; ++p) {
+      Task task;
+      task.fn = fn;
+      task.begin = begin + p * chunk;
+      task.end = std::min(end, task.begin + chunk);
+      task.remaining = &remaining;
+      task.done_mutex = &done_mutex;
+      task.done_cv = &done_cv;
+      queue_.push(std::move(task));
+    }
+  }
+  cv_.notify_all();
+
+  // Caller's own chunk.
+  const std::size_t own_begin = begin + (parts - 1) * chunk;
+  for (std::size_t i = own_begin; i < end; ++i) fn(i);
+
+  std::unique_lock<std::mutex> lock{done_mutex};
+  done_cv.wait(lock, [&] { return remaining == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock{mutex_};
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    run_range(task);
+    {
+      const std::lock_guard<std::mutex> lock{*task.done_mutex};
+      --*task.remaining;
+    }
+    task.done_cv->notify_one();
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn) {
+  ThreadPool::global().parallel_for(begin, end, fn);
+}
+
+}  // namespace sdd

@@ -1,0 +1,63 @@
+// Tiny work-stealing-free thread pool with a parallel_for helper.
+//
+// On single-core machines (the default evaluation environment for this repo)
+// the pool degenerates to inline execution with zero thread overhead; on
+// multi-core machines GEMM and evaluation sharding use it transparently.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace sdd {
+
+class ThreadPool {
+ public:
+  // `threads == 0` selects hardware_concurrency() - 1 (inline execution when
+  // that is zero, i.e. on a single-core host).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const noexcept { return workers_.size(); }
+
+  // Run fn(i) for i in [begin, end). Blocks until all iterations finish.
+  // Work is split into contiguous chunks, one per participating thread
+  // (including the caller), to keep cache locality for GEMM row blocks.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+  // Process-wide default pool.
+  static ThreadPool& global();
+
+ private:
+  struct Task {
+    std::function<void(std::size_t)> fn;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    std::size_t* remaining = nullptr;
+    std::mutex* done_mutex = nullptr;
+    std::condition_variable* done_cv = nullptr;
+  };
+
+  void worker_loop();
+  static void run_range(const Task& task);
+
+  std::vector<std::thread> workers_;
+  std::queue<Task> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+// Convenience wrapper over the global pool.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace sdd

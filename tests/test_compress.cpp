@@ -1,0 +1,144 @@
+// Tests for the compression extensions: weight quantization and unstructured
+// magnitude sparsification.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/quant.hpp"
+#include "core/sparsify.hpp"
+#include "test_helpers.hpp"
+
+namespace sdd::core {
+namespace {
+
+using sdd::testing::tiny_config;
+
+TEST(Quant, RoundTripErrorBoundedByHalfStep) {
+  Rng rng{1};
+  std::vector<float> values(256);
+  for (float& v : values) v = rng.gaussian_float(0.0F, 0.5F);
+  float max_abs = 0.0F;
+  for (float v : values) max_abs = std::max(max_abs, std::fabs(v));
+
+  QuantStats stats;
+  quantize_dequantize(values, 256, /*bits=*/8, &stats);
+  // Symmetric 8-bit: step = max_abs/127, error <= step/2 (plus fp rounding).
+  EXPECT_LE(stats.max_abs_error, max_abs / 127.0 * 0.51 + 1e-6);
+  EXPECT_EQ(stats.values_quantized, 256);
+}
+
+TEST(Quant, FewerBitsMoreError) {
+  Rng rng{2};
+  std::vector<float> base(512);
+  for (float& v : base) v = rng.gaussian_float(0.0F, 1.0F);
+
+  double previous_error = 0.0;
+  for (const int bits : {8, 6, 4, 2}) {
+    std::vector<float> values = base;
+    QuantStats stats;
+    quantize_dequantize(values, 64, bits, &stats);
+    EXPECT_GT(stats.mean_abs_error, previous_error);
+    previous_error = stats.mean_abs_error;
+  }
+}
+
+TEST(Quant, IdempotentOnQuantizedValues) {
+  Rng rng{3};
+  std::vector<float> values(128);
+  for (float& v : values) v = rng.gaussian_float(0.0F, 1.0F);
+  quantize_dequantize(values, 128, 8, nullptr);
+  std::vector<float> again = values;
+  quantize_dequantize(again, 128, 8, nullptr);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_NEAR(again[i], values[i], 1e-6F);
+  }
+}
+
+TEST(Quant, RejectsBadArguments) {
+  std::vector<float> values(8);
+  EXPECT_THROW(quantize_dequantize(values, 8, 1, nullptr), std::invalid_argument);
+  EXPECT_THROW(quantize_dequantize(values, 8, 9, nullptr), std::invalid_argument);
+  EXPECT_THROW(quantize_dequantize(values, 3, 8, nullptr), std::invalid_argument);
+}
+
+TEST(Quant, ModelQuantizationPreservesShapeAndRuns) {
+  const nn::TransformerLM model{tiny_config(2), 5};
+  QuantStats stats;
+  const nn::TransformerLM quantized = quantize_model(model, QuantConfig{}, &stats);
+  EXPECT_GT(stats.tensors_quantized, 0);
+  EXPECT_GT(stats.values_quantized, 0);
+  EXPECT_NE(quantized.weight_hash(), model.weight_hash());
+  EXPECT_EQ(quantized.param_count(), model.param_count());
+
+  // 8-bit model output should stay close to fp32 output.
+  NoGradGuard no_grad;
+  std::vector<std::int32_t> ids{1, 2, 3, 4, 5};
+  const Tensor full = model.forward(ids, 1, 5);
+  const Tensor quant = quantized.forward(ids, 1, 5);
+  double max_diff = 0.0;
+  for (std::int64_t i = 0; i < full.numel(); ++i) {
+    max_diff = std::max(max_diff,
+                        std::fabs(static_cast<double>(full.data()[i]) -
+                                  quant.data()[i]));
+  }
+  EXPECT_LT(max_diff, 1.0);  // logit drift stays small at 8 bits
+}
+
+TEST(Quant, EmbeddingCanBeExcluded) {
+  const nn::TransformerLM model{tiny_config(2), 6};
+  QuantConfig config;
+  config.quantize_embedding = false;
+  const nn::TransformerLM quantized = quantize_model(model, config);
+  const auto original = model.token_embedding().data();
+  const auto result = quantized.token_embedding().data();
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(original[i], result[i]);
+  }
+}
+
+TEST(Sparsify, AchievesRequestedSparsity) {
+  const nn::TransformerLM model{tiny_config(3), 7};
+  SparsifyStats stats;
+  const nn::TransformerLM sparse = sparsify_model(model, 0.5, &stats);
+  EXPECT_NEAR(stats.achieved_sparsity, 0.5, 0.02);
+  EXPECT_NEAR(measured_sparsity(sparse), 0.5, 0.02);
+  EXPECT_LT(measured_sparsity(model), 0.01);
+}
+
+TEST(Sparsify, KeepsLargestMagnitudes) {
+  nn::TransformerLM model{tiny_config(1), 8};
+  const nn::TransformerLM sparse = sparsify_model(model, 0.25);
+  // Every surviving weight must be at least as large (in magnitude) as every
+  // zeroed one, per tensor.
+  const auto original_params = model.parameters();
+  const auto sparse_params = sparse.parameters();
+  for (std::size_t p = 0; p < sparse_params.size(); ++p) {
+    if (sparse_params[p].tensor.shape().size() != 2) continue;
+    const auto before = original_params[p].tensor.data();
+    const auto after = sparse_params[p].tensor.data();
+    float max_zeroed = 0.0F, min_kept = 1e30F;
+    for (std::size_t i = 0; i < after.size(); ++i) {
+      if (after[i] == 0.0F) {
+        max_zeroed = std::max(max_zeroed, std::fabs(before[i]));
+      } else {
+        min_kept = std::min(min_kept, std::fabs(after[i]));
+      }
+    }
+    EXPECT_LE(max_zeroed, min_kept + 1e-6F) << sparse_params[p].name;
+  }
+}
+
+TEST(Sparsify, ZeroSparsityIsIdentity) {
+  const nn::TransformerLM model{tiny_config(2), 9};
+  const nn::TransformerLM sparse = sparsify_model(model, 0.0);
+  EXPECT_EQ(sparse.weight_hash(), model.weight_hash());
+}
+
+TEST(Sparsify, RejectsBadFraction) {
+  const nn::TransformerLM model{tiny_config(2), 10};
+  EXPECT_THROW(sparsify_model(model, 1.0), std::invalid_argument);
+  EXPECT_THROW(sparsify_model(model, -0.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sdd::core

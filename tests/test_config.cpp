@@ -1,0 +1,129 @@
+// Configuration-surface tests: env overrides, cache-key hash sensitivity,
+// and few-shot prompt budgeting.
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "data/corpus.hpp"
+#include "eval/harness.hpp"
+#include "eval/suite.hpp"
+#include "test_helpers.hpp"
+
+namespace sdd {
+namespace {
+
+TEST(StandardConfig, ReadsEnvironmentOverrides) {
+  ::setenv("SDD_LAYERS", "8", 1);
+  ::setenv("SDD_DMODEL", "32", 1);
+  ::setenv("SDD_SFT_MAX_STEPS", "7", 1);
+  const core::PipelineConfig config = core::PipelineConfig::standard();
+  EXPECT_EQ(config.model.n_layers, 8);
+  EXPECT_EQ(config.model.d_model, 32);
+  EXPECT_EQ(config.sft.max_steps, 7);
+  ::unsetenv("SDD_LAYERS");
+  ::unsetenv("SDD_DMODEL");
+  ::unsetenv("SDD_SFT_MAX_STEPS");
+
+  const core::PipelineConfig defaults = core::PipelineConfig::standard();
+  EXPECT_EQ(defaults.model.n_layers, 16);
+  EXPECT_EQ(defaults.model.vocab_size, data::Vocab::instance().size());
+}
+
+TEST(Hashing, ModelConfigSensitivity) {
+  nn::ModelConfig a = testing::tiny_config();
+  nn::ModelConfig b = a;
+  EXPECT_EQ(a.hash(), b.hash());
+  b.n_layers += 1;
+  EXPECT_NE(a.hash(), b.hash());
+  b = a;
+  b.rope_base = 500.0F;
+  EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(Hashing, TrainAndDistillConfigSensitivity) {
+  train::SftTrainConfig sft_a;
+  train::SftTrainConfig sft_b = sft_a;
+  EXPECT_EQ(sft_a.hash(), sft_b.hash());
+  sft_b.optimizer.lr *= 2.0F;
+  EXPECT_NE(sft_a.hash(), sft_b.hash());
+
+  core::DistillConfig distill_a;
+  core::DistillConfig distill_b = distill_a;
+  distill_b.condition_on_reference = true;
+  EXPECT_NE(distill_a.hash(), distill_b.hash());
+
+  core::KdConfig kd_a;
+  core::KdConfig kd_b = kd_a;
+  kd_b.temperature = 4.0F;
+  EXPECT_NE(kd_a.hash(), kd_b.hash());
+
+  nn::LoraConfig lora_a;
+  nn::LoraConfig lora_b = lora_a;
+  lora_b.rank = 16;
+  EXPECT_NE(lora_a.hash(), lora_b.hash());
+}
+
+TEST(Hashing, CorpusConfigSensitivity) {
+  data::CorpusConfig a;
+  data::CorpusConfig b = a;
+  EXPECT_EQ(a.hash(), b.hash());
+  b.myth_rate += 0.1;
+  EXPECT_NE(a.hash(), b.hash());
+  b = a;
+  b.n_documents += 1;
+  EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(Hashing, BaseKeyChangesWithEveryStage) {
+  core::PipelineConfig a;
+  a.model = testing::tiny_real_vocab_config(2);
+  core::PipelineConfig b = a;
+  EXPECT_EQ(a.base_key(), b.base_key());
+  b.pretrain.optimizer.lr *= 2.0F;
+  EXPECT_NE(a.base_key(), b.base_key());
+  b = a;
+  b.world_seed += 1;
+  EXPECT_NE(a.base_key(), b.base_key());
+  b = a;
+  b.version += 1;
+  EXPECT_NE(a.base_key(), b.base_key());
+}
+
+TEST(FewShot, PromptsNeverExceedContextWindow) {
+  // Even with an absurd shot request the assembled MC context plus longest
+  // option must fit the model's window (exemplars are dropped from the
+  // front).
+  nn::ModelConfig config = testing::tiny_real_vocab_config(1);
+  config.max_seq_len = 48;  // very tight
+  const nn::TransformerLM model{config, 71};
+  const data::World world{42};
+  const data::McTask task = data::make_mmlu_task(world, 6, 3);
+  eval::EvalOptions options;
+  options.shots = 50;
+  EXPECT_NO_THROW(eval::evaluate_mc(model, task, options));
+}
+
+TEST(FewShot, GenerativePromptRespectsWindow) {
+  nn::ModelConfig config = testing::tiny_real_vocab_config(1);
+  config.max_seq_len = 72;
+  const nn::TransformerLM model{config, 72};
+  const data::GenTask task = data::make_gsm8k_eval_task(4, 7);
+  eval::EvalOptions options;
+  options.shots = 50;
+  EXPECT_NO_THROW(eval::evaluate_gen(model, task, options));
+}
+
+TEST(SuiteSpecHash, Sensitivity) {
+  eval::SuiteSpec a;
+  eval::SuiteSpec b = a;
+  EXPECT_EQ(a.hash(), b.hash());
+  b.mc_items += 1;
+  EXPECT_NE(a.hash(), b.hash());
+  b = a;
+  b.options.shots = 1;
+  EXPECT_NE(a.hash(), b.hash());
+}
+
+}  // namespace
+}  // namespace sdd

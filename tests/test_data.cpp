@@ -1,0 +1,359 @@
+// Tests for the synthetic language: vocabulary, world, task grammars,
+// datasets, evaluation items, and the pre-training corpus.
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/corpus.hpp"
+#include "data/evalset.hpp"
+#include "data/kb_gen.hpp"
+#include "data/math_gen.hpp"
+#include "data/sft.hpp"
+#include "data/vocab.hpp"
+#include "data/world.hpp"
+
+namespace sdd::data {
+namespace {
+
+TEST(Vocab, EncodeDecodeRoundTrip) {
+  const Vocab& vocab = Vocab::instance();
+  const std::string text = "q : tom has 7 apples . how many apples does tom have ?";
+  const auto ids = vocab.encode(text);
+  EXPECT_EQ(vocab.decode(ids), text);
+}
+
+TEST(Vocab, UnknownWordThrows) {
+  const Vocab& vocab = Vocab::instance();
+  EXPECT_THROW(vocab.id("unknownword"), std::invalid_argument);
+  EXPECT_FALSE(vocab.try_id("unknownword").has_value());
+  EXPECT_TRUE(vocab.try_id("tom").has_value());
+}
+
+TEST(Vocab, NumberTokensBijective) {
+  const Vocab& vocab = Vocab::instance();
+  for (std::int64_t n = 0; n <= Vocab::kMaxNumber; ++n) {
+    const TokenId id = vocab.number_token(n);
+    EXPECT_EQ(vocab.token_number(id), n);
+    EXPECT_EQ(vocab.word(id), std::to_string(n));
+  }
+  EXPECT_THROW(vocab.number_token(100), std::out_of_range);
+  EXPECT_FALSE(vocab.token_number(vocab.bos()).has_value());
+}
+
+TEST(Vocab, SpecialsDistinct) {
+  const Vocab& vocab = Vocab::instance();
+  const std::set<TokenId> specials{vocab.pad(), vocab.bos(), vocab.eos(), vocab.sep()};
+  EXPECT_EQ(specials.size(), 4U);
+}
+
+TEST(Vocab, LastNumberExtraction) {
+  const Vocab& vocab = Vocab::instance();
+  const auto ids = vocab.encode("we compute 3 + 4 = 7 . ans 7");
+  EXPECT_EQ(last_number(vocab, ids), 7);
+  const auto none = vocab.encode("the cat meows .");
+  EXPECT_FALSE(last_number(vocab, none).has_value());
+}
+
+TEST(World, DeterministicPerSeed) {
+  const World a{42}, b{42}, c{43};
+  EXPECT_EQ(a.sound_of("cat"), b.sound_of("cat"));
+  EXPECT_EQ(a.cause_effects()[5].effect, b.cause_effects()[5].effect);
+  // Different seeds should differ somewhere in the fact tables.
+  bool any_different = false;
+  for (std::size_t i = 0; i < a.cause_effects().size(); ++i) {
+    if (a.cause_effects()[i].effect != c.cause_effects()[i].effect) {
+      any_different = true;
+    }
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(World, CompleteFactFamilies) {
+  const World world{42};
+  EXPECT_EQ(world.animals().size(), 8U);
+  EXPECT_EQ(world.cause_effects().size(), 4U * 8U);
+  EXPECT_EQ(world.classifications().size(), 4U * 8U);
+  EXPECT_FALSE(world.routines().empty());
+  for (const Routine& routine : world.routines()) {
+    EXPECT_EQ(routine.actions.size(), 4U);
+  }
+  for (const ColorFact& fact : world.color_facts()) {
+    EXPECT_NE(fact.color, fact.popular_error);
+  }
+}
+
+TEST(World, SoundBijection) {
+  const World world{42};
+  std::set<std::string> sounds;
+  for (const std::string& animal : world.animals()) {
+    sounds.insert(world.sound_of(animal));
+  }
+  EXPECT_EQ(sounds.size(), world.animals().size());
+  EXPECT_THROW(world.sound_of("zebra"), std::invalid_argument);
+}
+
+TEST(MathGen, ProblemsAreArithmeticallyConsistent) {
+  Rng rng{1};
+  for (int i = 0; i < 500; ++i) {
+    const MathProblem problem = make_math_problem(rng, {.min_steps = 1, .max_steps = 4});
+    std::int64_t value = problem.start;
+    for (const MathStep& step : problem.steps) {
+      EXPECT_EQ(step.before, value);
+      switch (step.op) {
+        case MathOp::kAdd:
+          value += step.operand;
+          break;
+        case MathOp::kSub:
+          value -= step.operand;
+          break;
+        case MathOp::kDouble:
+          value *= 2;
+          break;
+      }
+      EXPECT_EQ(step.after, value);
+      EXPECT_GE(value, 0);
+      EXPECT_LE(value, Vocab::kMaxNumber);
+    }
+    EXPECT_EQ(problem.answer, value);
+  }
+}
+
+TEST(MathGen, AllRenderingsEncodeAndEndInAnswer) {
+  const Vocab& vocab = Vocab::instance();
+  Rng rng{2};
+  for (int i = 0; i < 200; ++i) {
+    const MathProblem problem = make_math_problem(rng, {.min_steps = 1, .max_steps = 4});
+    const auto question_ids = vocab.encode(render_math_question(problem));
+    EXPECT_FALSE(question_ids.empty());
+    for (SolutionStyle style :
+         {SolutionStyle::kModel, SolutionStyle::kHuman, SolutionStyle::kHumanAlt}) {
+      const auto ids = vocab.encode(render_math_solution(problem, style));
+      EXPECT_EQ(last_number(vocab, ids), problem.answer)
+          << render_math_solution(problem, style);
+    }
+  }
+}
+
+TEST(MathGen, StylesDiffer) {
+  Rng rng{3};
+  const MathProblem problem = make_math_problem(rng, {.min_steps = 2, .max_steps = 2});
+  const std::string model_style = render_math_solution(problem, SolutionStyle::kModel);
+  const std::string human_style = render_math_solution(problem, SolutionStyle::kHuman);
+  const std::string alt_style = render_math_solution(problem, SolutionStyle::kHumanAlt);
+  EXPECT_NE(model_style, human_style);
+  EXPECT_NE(model_style, alt_style);
+  EXPECT_NE(human_style, alt_style);
+}
+
+TEST(MathGen, EquationDrillsAreValid) {
+  const Vocab& vocab = Vocab::instance();
+  Rng rng{4};
+  for (int i = 0; i < 200; ++i) {
+    const auto ids = vocab.encode(render_equation_drill(rng));
+    ASSERT_EQ(ids.size(), 5U);  // "a op b = c"
+    const auto a = vocab.token_number(ids[0]);
+    const auto b = vocab.token_number(ids[2]);
+    const auto c = vocab.token_number(ids[4]);
+    ASSERT_TRUE(a && b && c);
+    const std::string op = vocab.word(ids[1]);
+    if (op == "+") {
+      EXPECT_EQ(*a + *b, *c);
+    } else {
+      ASSERT_EQ(op, "-");
+      EXPECT_EQ(*a - *b, *c);
+    }
+  }
+}
+
+TEST(KbGen, AllRenderersProduceVocabWords) {
+  const Vocab& vocab = Vocab::instance();
+  const World world{42};
+  Rng rng{5};
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_NO_THROW(vocab.encode(render_fact_statement(world, rng)));
+    EXPECT_NO_THROW(vocab.encode(render_color_statement(world, rng, 0.3)));
+    const QaPair qa = render_kb_qa(world, rng);
+    EXPECT_NO_THROW(vocab.encode(qa.question));
+    EXPECT_NO_THROW(vocab.encode(qa.answer));
+    const DollyExample dolly = make_dolly_example(world, rng);
+    EXPECT_NO_THROW(vocab.encode(dolly.question));
+    EXPECT_NO_THROW(vocab.encode(dolly.response_model));
+    EXPECT_NO_THROW(vocab.encode(dolly.response_human));
+    const AlpacaExample alpaca = make_alpaca_example(world, rng);
+    EXPECT_NO_THROW(vocab.encode(alpaca.question));
+    EXPECT_NO_THROW(vocab.encode(alpaca.response_model));
+    EXPECT_NO_THROW(vocab.encode(alpaca.response_human));
+  }
+}
+
+TEST(KbGen, AlpacaKeysAppearInBothResponses) {
+  const Vocab& vocab = Vocab::instance();
+  const World world{42};
+  Rng rng{6};
+  for (int i = 0; i < 200; ++i) {
+    const AlpacaExample example = make_alpaca_example(world, rng);
+    EXPECT_NE(example.response_model.find(example.answer_key), std::string::npos)
+        << example.response_model << " // " << example.answer_key;
+    EXPECT_NE(example.response_human.find(example.answer_key), std::string::npos);
+    (void)vocab;
+  }
+}
+
+TEST(Sft, DatasetsHaveRequestedSizeAndValidKeys) {
+  const World world{42};
+  for (const std::string name : {"gsm8k", "openmathinstruct", "dolly", "alpaca"}) {
+    const SftDataset dataset = make_dataset_by_name(world, name, 40, 9);
+    EXPECT_EQ(dataset.examples.size(), 40U);
+    EXPECT_EQ(dataset.name, name);
+    for (const SftExample& example : dataset.examples) {
+      EXPECT_FALSE(example.prompt.empty());
+      EXPECT_FALSE(example.target.empty());
+      EXPECT_EQ(example.prompt.front(), Vocab::instance().bos());
+      EXPECT_EQ(example.prompt.back(), Vocab::instance().sep());
+      EXPECT_EQ(example.target.back(), Vocab::instance().eos());
+    }
+  }
+  EXPECT_THROW(make_dataset_by_name(world, "bogus", 10, 9), std::invalid_argument);
+}
+
+TEST(Sft, GroundTruthTargetsPassTheirOwnExtraction) {
+  // Every dataset's reference target must satisfy response_matches — the
+  // invariant the self-data distillation fallback relies on.
+  const World world{42};
+  const Vocab& vocab = Vocab::instance();
+  for (const std::string name : {"gsm8k", "openmathinstruct", "dolly", "alpaca"}) {
+    const SftDataset dataset = make_dataset_by_name(world, name, 60, 10);
+    for (const SftExample& example : dataset.examples) {
+      EXPECT_TRUE(response_matches(vocab, example, example.target)) << name;
+    }
+  }
+}
+
+TEST(Sft, ExtractionRules) {
+  const Vocab& vocab = Vocab::instance();
+  SftExample numeric;
+  numeric.extract = ExtractKind::kNumeric;
+  numeric.numeric_answer = 12;
+  EXPECT_TRUE(response_matches(vocab, numeric, vocab.encode("so the answer is 12")));
+  EXPECT_FALSE(response_matches(vocab, numeric, vocab.encode("so the answer is 13")));
+  EXPECT_FALSE(response_matches(vocab, numeric, vocab.encode("the cat meows .")));
+
+  SftExample contains;
+  contains.extract = ExtractKind::kContains;
+  contains.answer_key = vocab.encode("gold gold");
+  EXPECT_TRUE(response_matches(vocab, contains, vocab.encode("a : gold gold .")));
+  EXPECT_FALSE(response_matches(vocab, contains, vocab.encode("a : gold .")));
+
+  SftExample open;
+  open.extract = ExtractKind::kOpenEnded;
+  EXPECT_TRUE(response_matches(vocab, open, vocab.encode("the cat meows .")));
+  EXPECT_FALSE(response_matches(vocab, open, vocab.encode("the")));
+}
+
+TEST(Sft, HashChangesWithContent) {
+  const World world{42};
+  const SftDataset a = make_gsm8k_dataset(world, 20, 1);
+  const SftDataset b = make_gsm8k_dataset(world, 20, 1);
+  const SftDataset c = make_gsm8k_dataset(world, 20, 2);
+  EXPECT_EQ(a.hash(), b.hash());
+  EXPECT_NE(a.hash(), c.hash());
+}
+
+TEST(EvalSet, McItemsWellFormed) {
+  const World world{42};
+  const auto check = [](const McTask& task, std::size_t expected_options) {
+    EXPECT_FALSE(task.items.empty());
+    EXPECT_FALSE(task.fewshot_pool.empty());
+    for (const McItem& item : task.items) {
+      EXPECT_EQ(item.options.size(), expected_options);
+      EXPECT_LT(item.correct, item.options.size());
+      // Options must be distinct.
+      std::set<std::vector<TokenId>> unique(item.options.begin(), item.options.end());
+      EXPECT_EQ(unique.size(), item.options.size());
+    }
+  };
+  check(make_arc_task(world, 20, 1), 4);
+  check(make_hellaswag_task(world, 20, 1), 4);
+  check(make_truthfulqa_task(world, 20, 1), 4);
+  check(make_mmlu_task(world, 20, 1), 4);
+  check(make_winogrande_task(world, 20, 1), 2);
+}
+
+TEST(EvalSet, CorrectOptionsMatchWorldFacts) {
+  const World world{42};
+  const Vocab& vocab = Vocab::instance();
+  const McTask arc = make_arc_task(world, 30, 2);
+  for (const McItem& item : arc.items) {
+    const std::string question = vocab.decode(item.context);
+    const std::string answer = vocab.decode(item.options[item.correct]);
+    // Recover the fact from the question and verify the gold option.
+    bool found = false;
+    for (const CauseEffectFact& fact : world.cause_effects()) {
+      if (question.find(fact.process + " " + fact.substance) != std::string::npos) {
+        EXPECT_NE(answer.find(fact.effect), std::string::npos) << question;
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << question;
+  }
+}
+
+TEST(EvalSet, GsmEvalAnswersConsistent) {
+  const Vocab& vocab = Vocab::instance();
+  const GenTask task = make_gsm8k_eval_task(25, 3);
+  EXPECT_EQ(task.items.size(), 25U);
+  for (const GenItem& item : task.items) {
+    EXPECT_EQ(last_number(vocab, item.reference), item.answer);
+    EXPECT_EQ(item.prompt.back(), vocab.sep());
+  }
+}
+
+TEST(EvalSet, SeedChangesItems) {
+  const World world{42};
+  const McTask a = make_mmlu_task(world, 10, 1);
+  const McTask b = make_mmlu_task(world, 10, 2);
+  bool any_different = false;
+  for (std::size_t i = 0; i < a.items.size(); ++i) {
+    if (a.items[i].context != b.items[i].context) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(Corpus, StreamStructure) {
+  const World world{42};
+  CorpusConfig config;
+  config.n_documents = 200;
+  const auto stream = build_pretraining_stream(world, config);
+  const Vocab& vocab = Vocab::instance();
+  EXPECT_EQ(stream.front(), vocab.bos());
+  EXPECT_EQ(stream.back(), vocab.eos());
+  // Count documents by <bos> markers.
+  std::int64_t docs = 0;
+  for (TokenId id : stream) {
+    if (id == vocab.bos()) ++docs;
+  }
+  EXPECT_EQ(docs, 200);
+}
+
+TEST(Corpus, DeterministicAndSeedSensitive) {
+  const World world{42};
+  CorpusConfig config;
+  config.n_documents = 50;
+  const auto a = build_pretraining_stream(world, config);
+  const auto b = build_pretraining_stream(world, config);
+  EXPECT_EQ(a, b);
+  config.seed = 8;
+  const auto c = build_pretraining_stream(world, config);
+  EXPECT_NE(a, c);
+}
+
+TEST(Corpus, CalibrationSetShape) {
+  const World world{42};
+  const auto calibration = build_calibration_set(world, 6, 32, 11);
+  EXPECT_EQ(calibration.size(), 6U);
+  for (const auto& sample : calibration) EXPECT_EQ(sample.size(), 32U);
+}
+
+}  // namespace
+}  // namespace sdd::data

@@ -1,0 +1,204 @@
+// Tests for the extension modules: width pruning, teacher-logit KD, the
+// soft cross-entropy op, and the replay baseline.
+#include <gtest/gtest.h>
+
+#include "core/kd.hpp"
+#include "core/pipeline.hpp"
+#include "core/width_prune.hpp"
+#include "tensor/ops.hpp"
+#include "test_helpers.hpp"
+
+namespace sdd::core {
+namespace {
+
+using sdd::testing::tiny_config;
+using sdd::testing::tiny_real_vocab_config;
+
+TEST(SoftCrossEntropy, MatchesHardCeOnOneHotTargets) {
+  Rng rng{1};
+  const std::int64_t rows = 3, vocab = 7;
+  Tensor logits = Tensor::randn(rng, {rows, vocab}, 1.0F, true);
+  const std::vector<std::int32_t> targets{2, 5, 0};
+  const std::vector<float> weights{1.0F, 2.0F, 1.0F};
+  std::vector<float> one_hot(static_cast<std::size_t>(rows * vocab), 0.0F);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    one_hot[static_cast<std::size_t>(r * vocab + targets[static_cast<std::size_t>(r)])] =
+        1.0F;
+  }
+  const float hard = ops::cross_entropy(logits, targets, weights).item();
+  const float soft = ops::soft_cross_entropy(logits, one_hot, weights).item();
+  EXPECT_NEAR(hard, soft, 1e-5F);
+}
+
+TEST(SoftCrossEntropy, GradCheck) {
+  Rng rng{2};
+  const std::int64_t rows = 2, vocab = 5;
+  Tensor logits = Tensor::randn(rng, {rows, vocab}, 1.0F, true);
+  // Random teacher distribution.
+  std::vector<float> teacher(static_cast<std::size_t>(rows * vocab));
+  for (std::int64_t r = 0; r < rows; ++r) {
+    float sum = 0.0F;
+    for (std::int64_t v = 0; v < vocab; ++v) {
+      teacher[static_cast<std::size_t>(r * vocab + v)] =
+          rng.uniform_float(0.01F, 1.0F);
+      sum += teacher[static_cast<std::size_t>(r * vocab + v)];
+    }
+    for (std::int64_t v = 0; v < vocab; ++v) {
+      teacher[static_cast<std::size_t>(r * vocab + v)] /= sum;
+    }
+  }
+  const std::vector<float> weights{1.0F, 0.5F};
+  sdd::testing::expect_gradients_close(
+      logits, [&] { return ops::soft_cross_entropy(logits, teacher, weights); },
+      5e-3F);
+}
+
+TEST(SoftCrossEntropy, MinimizedWhenStudentMatchesTeacher) {
+  // Cross-entropy H(t, p) >= H(t, t): matching the teacher gives the lowest
+  // achievable value.
+  const std::vector<float> teacher{0.7F, 0.2F, 0.1F};
+  const std::vector<float> weights{1.0F};
+  Tensor matching = Tensor::from_data(
+      {std::log(0.7F), std::log(0.2F), std::log(0.1F)}, {1, 3});
+  Tensor off = Tensor::from_data({2.0F, 0.0F, -1.0F}, {1, 3});
+  const float at_match = ops::soft_cross_entropy(matching, teacher, weights).item();
+  const float at_off = ops::soft_cross_entropy(off, teacher, weights).item();
+  EXPECT_LT(at_match, at_off);
+}
+
+TEST(WidthPrune, RemovesChannelsAndKeepsShapesConsistent) {
+  const nn::TransformerLM model{tiny_real_vocab_config(3), 4};
+  const WidthPruneResult result = width_prune_ffn(model, 0.25);
+  EXPECT_GT(result.channels_removed_per_layer, 0);
+  EXPECT_GT(result.param_savings, 0.0);
+  EXPECT_EQ(result.model.n_layers(), model.n_layers());
+
+  // The pruned model must still run a forward pass and decode.
+  Rng rng{5};
+  std::vector<std::int32_t> ids{1, 2, 3, 4};
+  NoGradGuard no_grad;
+  const Tensor logits = result.model.forward(ids, 1, 4);
+  EXPECT_EQ(logits.shape().back(), model.config().vocab_size);
+  auto state = result.model.make_decode_state();
+  EXPECT_NO_THROW(result.model.decode_step(state, 1));
+}
+
+TEST(WidthPrune, ZeroFractionIsIdentity) {
+  const nn::TransformerLM model{tiny_real_vocab_config(2), 6};
+  const WidthPruneResult result = width_prune_ffn(model, 0.0);
+  EXPECT_EQ(result.channels_removed_per_layer, 0);
+  EXPECT_EQ(result.model.weight_hash(), model.weight_hash());
+}
+
+TEST(WidthPrune, KeepsHighestMagnitudeChannels) {
+  // Zero out a specific channel's weights: it must be the one removed.
+  nn::TransformerLM model{tiny_real_vocab_config(1), 7};
+  auto& mlp = model.block(0).mlp();
+  const std::int64_t d_ff = mlp.w_gate().weight().dim(0);
+  const std::int64_t d_model = mlp.w_gate().weight().dim(1);
+  const std::int64_t victim = 3;
+  for (std::int64_t c = 0; c < d_model; ++c) {
+    mlp.w_gate().weight().data()[static_cast<std::size_t>(victim * d_model + c)] = 0.0F;
+  }
+  const WidthPruneResult result =
+      width_prune_ffn(model, 1.0 / static_cast<double>(d_ff) + 1e-6);
+  EXPECT_EQ(result.channels_removed_per_layer, 1);
+  const auto& pruned_mlp = result.model.block(0).mlp();
+  EXPECT_EQ(pruned_mlp.w_gate().weight().dim(0), d_ff - 1);
+  // The surviving gate rows must all be non-zero.
+  const auto data = pruned_mlp.w_gate().weight().data();
+  for (std::int64_t j = 0; j < d_ff - 1; ++j) {
+    float norm = 0.0F;
+    for (std::int64_t c = 0; c < d_model; ++c) {
+      norm += std::fabs(data[static_cast<std::size_t>(j * d_model + c)]);
+    }
+    EXPECT_GT(norm, 0.0F);
+  }
+}
+
+TEST(WidthPrune, MatchedFractionApproximatesDepthSavings) {
+  const nn::ModelConfig config = tiny_real_vocab_config(8);
+  const double fraction = width_fraction_matching_depth(config, 2);
+  const nn::TransformerLM model{config, 8};
+  const WidthPruneResult width = width_prune_ffn(model, fraction);
+  const nn::TransformerLM depth = model.pruned(2, 2);
+  const double depth_savings =
+      static_cast<double>(model.param_count() - depth.param_count()) /
+      static_cast<double>(model.param_count());
+  EXPECT_NEAR(width.param_savings, depth_savings, 0.05);
+}
+
+TEST(WidthPrune, RejectsBadFraction) {
+  const nn::TransformerLM model{tiny_real_vocab_config(2), 9};
+  EXPECT_THROW(width_prune_ffn(model, 1.0), std::invalid_argument);
+  EXPECT_THROW(width_prune_ffn(model, -0.1), std::invalid_argument);
+}
+
+TEST(Kd, TrainingReducesLossAndMovesTowardTeacher) {
+  const data::World world{42};
+  const data::SftDataset dataset = data::make_gsm8k_dataset(world, 16, 8);
+  const nn::TransformerLM teacher{tiny_real_vocab_config(3), 10};
+  nn::TransformerLM student{tiny_real_vocab_config(2), 11};
+
+  train::SftTrainConfig config;
+  config.epochs = 10;
+  config.max_steps = 25;
+  config.batch_size = 4;
+  const train::TrainStats stats =
+      kd_train(student, teacher, dataset, config, KdConfig{});
+  EXPECT_EQ(stats.losses.size(), 25U);
+  EXPECT_LT(stats.final_loss, stats.initial_loss);
+}
+
+TEST(Kd, ValidatesInputs) {
+  const data::World world{42};
+  const data::SftDataset dataset = data::make_gsm8k_dataset(world, 4, 9);
+  const nn::TransformerLM teacher{tiny_real_vocab_config(2), 12};
+  nn::TransformerLM student{tiny_real_vocab_config(2), 13};
+  train::SftTrainConfig config;
+  KdConfig bad;
+  bad.alpha = 1.5F;
+  EXPECT_THROW(kd_train(student, teacher, dataset, config, bad),
+               std::invalid_argument);
+  nn::TransformerLM mismatched{tiny_config(2), 14};  // different vocab
+  EXPECT_THROW(kd_train(mismatched, teacher, dataset, config, KdConfig{}),
+               std::invalid_argument);
+  data::SftDataset empty;
+  EXPECT_THROW(kd_train(student, teacher, empty, config, KdConfig{}),
+               std::invalid_argument);
+}
+
+TEST(Replay, MixtureContainsRawAndReplayExamples) {
+  PipelineConfig config;
+  config.model = tiny_real_vocab_config(2);
+  config.corpus.n_documents = 100;
+  config.pretrain.steps = 2;
+  config.pretrain.warmup_steps = 1;
+  config.pretrain.batch_size = 2;
+  config.pretrain.seq_len = 24;
+  config.pretrain.log_every = 0;
+  config.replay_ratio = 0.5;
+  config.cache_dir =
+      std::filesystem::temp_directory_path() / "sdd_replay_test_cache";
+  std::filesystem::remove_all(config.cache_dir);
+  Pipeline pipeline{config};
+
+  const data::SftDataset mixture = pipeline.replay_dataset("gsm8k", 20);
+  EXPECT_EQ(mixture.examples.size(), 30U);  // 20 raw + 10 replayed
+  EXPECT_EQ(mixture.name, "gsm8k+replay");
+  // Replayed tail must be open-ended QA examples.
+  for (std::size_t i = 20; i < 30; ++i) {
+    EXPECT_EQ(static_cast<int>(mixture.examples[i].extract),
+              static_cast<int>(data::ExtractKind::kOpenEnded));
+  }
+  std::filesystem::remove_all(config.cache_dir);
+}
+
+TEST(Methods, NamesCoverNewMethods) {
+  EXPECT_EQ(method_name(FtMethod::kSftReplay), "sft_replay");
+  EXPECT_EQ(method_name(FtMethod::kKd), "kd");
+  EXPECT_EQ(method_name(FtMethod::kSelfDataDistillKd), "self_data_distill_kd");
+}
+
+}  // namespace
+}  // namespace sdd::core

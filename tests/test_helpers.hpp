@@ -1,0 +1,71 @@
+// Shared test utilities: finite-difference gradient checking and tiny model
+// factories.
+#pragma once
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nn/transformer.hpp"
+#include "tensor/tensor.hpp"
+
+namespace sdd::testing {
+
+// Compare analytic gradients of `x` against central finite differences of the
+// scalar produced by `loss_fn` (which must read x's current values each call).
+inline void expect_gradients_close(Tensor x, const std::function<Tensor()>& loss_fn,
+                                   float eps = 1e-2F, float abs_tol = 3e-2F,
+                                   float rel_tol = 6e-2F) {
+  x.zero_grad();
+  Tensor loss = loss_fn();
+  loss.backward();
+  const std::vector<float> analytic(x.grad().begin(), x.grad().end());
+
+  auto data = x.data();
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const float original = data[i];
+    data[i] = original + eps;
+    const float loss_plus = loss_fn().item();
+    data[i] = original - eps;
+    const float loss_minus = loss_fn().item();
+    data[i] = original;
+
+    const float numeric = (loss_plus - loss_minus) / (2.0F * eps);
+    const float diff = std::fabs(numeric - analytic[i]);
+    const float scale = std::max({1.0F, std::fabs(numeric), std::fabs(analytic[i])});
+    EXPECT_LE(diff, std::max(abs_tol, rel_tol * scale))
+        << "gradient mismatch at flat index " << i << ": analytic=" << analytic[i]
+        << " numeric=" << numeric;
+  }
+}
+
+// Tiny config with a synthetic 50-token vocab: for pure-tensor tests that
+// never touch the real datasets.
+inline nn::ModelConfig tiny_config(std::int64_t layers = 3) {
+  nn::ModelConfig config;
+  config.vocab_size = 50;
+  config.d_model = 16;
+  config.n_heads = 2;
+  config.n_layers = layers;
+  config.d_ff = 24;
+  config.max_seq_len = 48;
+  return config;
+}
+
+// Tiny config sized for the real Vocab: for tests that run real corpora,
+// datasets, or eval tasks through a model.
+nn::ModelConfig tiny_real_vocab_config(std::int64_t layers = 3);
+
+}  // namespace sdd::testing
+#include "data/vocab.hpp"
+
+namespace sdd::testing {
+inline nn::ModelConfig tiny_real_vocab_config(std::int64_t layers) {
+  nn::ModelConfig config = tiny_config(layers);
+  config.vocab_size = data::Vocab::instance().size();
+  config.max_seq_len = 160;
+  return config;
+}
+}  // namespace sdd::testing

@@ -1,0 +1,152 @@
+// End-to-end integration tests: the full pipeline (pretrain -> prune ->
+// {No FT | SFT | SDD | merge} -> eval) at micro scale, including the on-disk
+// experiment cache semantics benches rely on.
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "eval/suite.hpp"
+#include "test_helpers.hpp"
+
+namespace sdd::core {
+namespace {
+
+// Micro pipeline: everything tuned to run in a couple of seconds.
+PipelineConfig micro_config(const std::filesystem::path& cache_dir) {
+  PipelineConfig config;
+  config.model = sdd::testing::tiny_real_vocab_config(4);
+  config.corpus.n_documents = 400;
+  config.pretrain.steps = 25;
+  config.pretrain.warmup_steps = 3;
+  config.pretrain.batch_size = 4;
+  config.pretrain.seq_len = 32;
+  config.pretrain.log_every = 0;
+  config.sft.epochs = 1;
+  config.sft.max_steps = 6;
+  config.sft.batch_size = 4;
+  config.distill.max_new_tokens = 10;
+  config.calib_samples = 2;
+  config.calib_seq = 24;
+  config.cache_dir = cache_dir;
+  return config;
+}
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cache_dir_ =
+        std::filesystem::temp_directory_path() / "sdd_pipeline_test_cache";
+    std::filesystem::remove_all(cache_dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(cache_dir_); }
+
+  std::filesystem::path cache_dir_;
+};
+
+TEST_F(PipelineTest, BaseModelIsCachedAcrossPipelines) {
+  PipelineConfig config = micro_config(cache_dir_);
+  Pipeline first{config};
+  const std::uint64_t hash = first.base_model().weight_hash();
+
+  // A second pipeline with the same config must load the identical weights
+  // from disk (no re-training).
+  Pipeline second{config};
+  EXPECT_EQ(second.base_model().weight_hash(), hash);
+
+  // Changing a pre-training knob must yield a different key (fresh model).
+  PipelineConfig other = config;
+  other.pretrain.steps = 26;
+  EXPECT_NE(other.base_key(), config.base_key());
+}
+
+TEST_F(PipelineTest, PruneIsMemoizedAndConsistent) {
+  Pipeline pipeline{micro_config(cache_dir_)};
+  const PruneResult& a = pipeline.prune(1);
+  const PruneResult& b = pipeline.prune(1);
+  EXPECT_EQ(&a, &b);  // memoized
+  EXPECT_EQ(a.model.n_layers(), pipeline.base_model().n_layers() - 1);
+}
+
+TEST_F(PipelineTest, RecoveredModelsAreCachedAndMethodDependent) {
+  Pipeline pipeline{micro_config(cache_dir_)};
+  const nn::TransformerLM sft =
+      pipeline.recovered(1, FtMethod::kSft, "gsm8k", 12);
+  const nn::TransformerLM sft_again =
+      pipeline.recovered(1, FtMethod::kSft, "gsm8k", 12);
+  EXPECT_EQ(sft.weight_hash(), sft_again.weight_hash());
+
+  const nn::TransformerLM sdd =
+      pipeline.recovered(1, FtMethod::kSelfDataDistill, "gsm8k", 12);
+  EXPECT_NE(sdd.weight_hash(), sft.weight_hash());
+
+  const nn::TransformerLM none = pipeline.recovered(1, FtMethod::kNone, "", 0);
+  EXPECT_NE(none.weight_hash(), sft.weight_hash());
+  EXPECT_EQ(none.n_layers(), sft.n_layers());
+}
+
+TEST_F(PipelineTest, RecoveredKeysDistinguishEverything) {
+  Pipeline pipeline{micro_config(cache_dir_)};
+  const auto key = [&](std::int64_t block, FtMethod method, const std::string& name,
+                       std::int64_t size) {
+    return pipeline.recovered_key(block, method, name, size);
+  };
+  EXPECT_NE(key(1, FtMethod::kSft, "gsm8k", 12), key(2, FtMethod::kSft, "gsm8k", 12));
+  EXPECT_NE(key(1, FtMethod::kSft, "gsm8k", 12),
+            key(1, FtMethod::kSelfDataDistill, "gsm8k", 12));
+  EXPECT_NE(key(1, FtMethod::kSft, "gsm8k", 12), key(1, FtMethod::kSft, "dolly", 12));
+  EXPECT_NE(key(1, FtMethod::kSft, "gsm8k", 12), key(1, FtMethod::kSft, "gsm8k", 13));
+}
+
+TEST_F(PipelineTest, DistilledDatasetCachedOnDisk) {
+  Pipeline pipeline{micro_config(cache_dir_)};
+  DistillStats stats;
+  const data::SftDataset first = pipeline.distilled_dataset("gsm8k", 8, &stats);
+  EXPECT_EQ(stats.total, 8);
+  const data::SftDataset second = pipeline.distilled_dataset("gsm8k", 8);
+  EXPECT_EQ(first.hash(), second.hash());
+}
+
+TEST_F(PipelineTest, MergedModelHasPrunedArchitecture) {
+  Pipeline pipeline{micro_config(cache_dir_)};
+  const nn::TransformerLM merged = pipeline.merged(1, "gsm8k", 8, "alpaca", 8, 0.5F);
+  EXPECT_EQ(merged.n_layers(), pipeline.base_model().n_layers() - 1);
+}
+
+TEST_F(PipelineTest, EndToEndEvalRuns) {
+  Pipeline pipeline{micro_config(cache_dir_)};
+  eval::SuiteSpec spec;
+  spec.mc_items = 4;
+  spec.gen_items = 2;
+  const auto baseline = eval::evaluate_suite(pipeline.base_model(), pipeline.world(),
+                                             eval::core_tasks(), spec);
+  const nn::TransformerLM sdd =
+      pipeline.recovered(1, FtMethod::kSelfDataDistill, "gsm8k", 8);
+  const auto scores =
+      eval::evaluate_suite(sdd, pipeline.world(), eval::core_tasks(), spec);
+  // Sanity: recovery is a finite, positive number.
+  if (baseline.average > 0.0) {
+    const double recovery = eval::recovery_percent(scores, baseline);
+    EXPECT_GE(recovery, 0.0);
+    EXPECT_LT(recovery, 500.0);
+  }
+}
+
+TEST_F(PipelineTest, SftTrainingMovesLossDownOnItsDataset) {
+  Pipeline pipeline{micro_config(cache_dir_)};
+  const data::SftDataset dataset = pipeline.raw_dataset("gsm8k", 16);
+  const float before =
+      train::sft_loss(pipeline.prune(1).model, dataset, 16);
+  const nn::TransformerLM tuned = pipeline.recovered(1, FtMethod::kSft, "gsm8k", 16);
+  const float after = train::sft_loss(tuned, dataset, 16);
+  EXPECT_LT(after, before);
+}
+
+TEST_F(PipelineTest, MethodNames) {
+  EXPECT_EQ(method_name(FtMethod::kNone), "no_ft");
+  EXPECT_EQ(method_name(FtMethod::kSft), "sft");
+  EXPECT_EQ(method_name(FtMethod::kSelfDataDistill), "self_data_distill");
+}
+
+}  // namespace
+}  // namespace sdd::core

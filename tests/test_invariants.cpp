@@ -1,0 +1,151 @@
+// Additional cross-module invariants: pruning composition, loss-weight
+// scale invariance, optimizer determinism, and world-consistency checks.
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/prune.hpp"
+#include "nn/decode.hpp"
+#include "data/evalset.hpp"
+#include "data/world.hpp"
+#include "tensor/ops.hpp"
+#include "test_helpers.hpp"
+#include "train/trainer.hpp"
+
+namespace sdd {
+namespace {
+
+TEST(PruneComposition, PrunedForwardEqualsManualBlockComposition) {
+  // pruned(start=1, n=2) of a 5-layer model must compute exactly
+  // blocks {0, 3, 4} — verify the full residual stream, not just a prefix.
+  const nn::TransformerLM model{testing::tiny_config(5), 41};
+  const nn::TransformerLM pruned = model.pruned(1, 2);
+
+  Rng rng{7};
+  std::vector<std::int32_t> ids(8);
+  for (auto& id : ids) {
+    id = static_cast<std::int32_t>(rng.uniform_int(0, model.config().vocab_size - 1));
+  }
+  const auto pruned_states =
+      pruned.hidden_states(ids, 1, static_cast<std::int64_t>(ids.size()));
+  const auto full_states =
+      model.hidden_states(ids, 1, static_cast<std::int64_t>(ids.size()));
+
+  // pruned block 0 == full block 0; pruned blocks 1,2 recompute full blocks
+  // 3,4 but on the REWIRED stream, so only block 0's output can be compared
+  // directly...
+  EXPECT_EQ(pruned_states[1], full_states[1]);
+
+  // ...and the rewired deeper blocks must equal applying the original block
+  // objects 3 and 4 manually to the rewired stream.
+  NoGradGuard no_grad;
+  Tensor x = Tensor::from_data(
+      std::vector<float>(pruned_states[1].begin(), pruned_states[1].end()),
+      {1, static_cast<std::int64_t>(ids.size()), model.config().d_model});
+  Tensor after3 = model.block(3).forward(x);
+  Tensor after4 = model.block(4).forward(after3);
+  const auto& final_state = pruned_states.back();
+  for (std::int64_t i = 0; i < after4.numel(); ++i) {
+    EXPECT_NEAR(after4.data()[static_cast<std::size_t>(i)],
+                final_state[static_cast<std::size_t>(i)], 1e-4F);
+  }
+}
+
+TEST(CrossEntropy, WeightScaleInvariance) {
+  Rng rng{8};
+  Tensor logits = Tensor::randn(rng, {3, 6}, 1.0F);
+  const std::vector<std::int32_t> targets{0, 2, 5};
+  const std::vector<float> w1{1.0F, 2.0F, 0.5F};
+  std::vector<float> w2;
+  for (float w : w1) w2.push_back(w * 7.0F);
+  EXPECT_NEAR(ops::cross_entropy(logits, targets, w1).item(),
+              ops::cross_entropy(logits, targets, w2).item(), 1e-5F);
+}
+
+TEST(AdamW, DeterministicAcrossRuns) {
+  const auto run = [] {
+    Tensor x = Tensor::full({3}, 1.0F, /*requires_grad=*/true);
+    train::AdamW optimizer{{{"x", x}}, {}};
+    for (int i = 0; i < 10; ++i) {
+      Tensor loss = ops::sum(ops::mul(x, x));
+      optimizer.zero_grad();
+      loss.backward();
+      optimizer.step(0.01F);
+    }
+    return std::vector<float>(x.data().begin(), x.data().end());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(RmsNorm, EpsPreventsDivisionBlowup) {
+  Tensor x = Tensor::zeros({1, 4});
+  Tensor w = Tensor::full({4}, 1.0F);
+  const Tensor y = ops::rmsnorm(x, w, 1e-5F);
+  for (float v : y.data()) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_EQ(v, 0.0F);
+  }
+}
+
+TEST(World, ClassificationsUseDomainClassesOnly) {
+  const data::World world{42};
+  // Each domain owns exactly two classes (world.cpp pairs them 2d, 2d+1).
+  std::map<std::string, std::set<std::string>> by_domain;
+  for (const auto& fact : world.classifications()) {
+    by_domain[fact.domain].insert(fact.klass);
+  }
+  for (const auto& [domain, classes] : by_domain) {
+    EXPECT_LE(classes.size(), 2U) << domain;
+  }
+}
+
+TEST(World, RoutineActionsAreDistinctWithinRoutine) {
+  const data::World world{42};
+  for (const auto& routine : world.routines()) {
+    std::set<std::string> unique(routine.actions.begin(), routine.actions.end());
+    EXPECT_EQ(unique.size(), routine.actions.size());
+  }
+}
+
+TEST(EvalSet, FewshotPoolDisjointSeedsFromItems) {
+  // Few-shot exemplars are drawn before items from the same stream, so the
+  // first item differs from the first exemplar (no leakage of identical
+  // item+distractor sets in the common case).
+  const data::World world{42};
+  const data::McTask task = data::make_arc_task(world, 10, 9);
+  bool any_difference = false;
+  for (const auto& item : task.items) {
+    if (item.context != task.fewshot_pool.front().context ||
+        item.options != task.fewshot_pool.front().options) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Tensor, CloneSharesNothing) {
+  Tensor a = Tensor::full({4}, 2.0F, /*requires_grad=*/true);
+  Tensor b = a.clone();
+  b.data()[0] = 99.0F;
+  EXPECT_EQ(a.data()[0], 2.0F);
+  b.grad()[0] = 1.0F;
+  EXPECT_FALSE(a.has_grad());
+}
+
+TEST(Generate, StopTokenTerminatesEarly) {
+  const nn::TransformerLM model{testing::tiny_config(2), 55};
+  const std::vector<std::int32_t> prompt{1, 2, 3};
+  nn::GenerateOptions unrestricted;
+  unrestricted.max_new_tokens = 12;
+  const auto full = nn::generate(model, prompt, unrestricted);
+  ASSERT_FALSE(full.empty());
+  // Stop at the first generated token: output must be empty.
+  nn::GenerateOptions stopped = unrestricted;
+  stopped.stop_token = full.front();
+  const auto cut = nn::generate(model, prompt, stopped);
+  EXPECT_TRUE(cut.empty());
+}
+
+}  // namespace
+}  // namespace sdd

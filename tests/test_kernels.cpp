@@ -1,0 +1,195 @@
+// Correctness tests for the raw compute kernels against naive references.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tensor/kernels.hpp"
+#include "util/rng.hpp"
+
+namespace sdd {
+namespace {
+
+std::vector<float> random_vec(Rng& rng, std::int64_t n) {
+  std::vector<float> v(static_cast<std::size_t>(n));
+  for (float& x : v) x = rng.gaussian_float(0.0F, 1.0F);
+  return v;
+}
+
+void naive_gemm_nn(const float* a, const float* b, float* c, std::int64_t m,
+                   std::int64_t k, std::int64_t n) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        acc += static_cast<double>(a[i * k + p]) * b[p * n + j];
+      }
+      c[i * n + j] = static_cast<float>(acc);
+    }
+  }
+}
+
+class GemmShapes : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmShapes, NnMatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  Rng rng{static_cast<std::uint64_t>(m * 10007 + k * 101 + n)};
+  const auto a = random_vec(rng, m * k);
+  const auto b = random_vec(rng, k * n);
+  std::vector<float> got(static_cast<std::size_t>(m * n));
+  std::vector<float> want(static_cast<std::size_t>(m * n));
+  kernels::gemm_nn(a.data(), b.data(), got.data(), m, k, n, false);
+  naive_gemm_nn(a.data(), b.data(), want.data(), m, k, n);
+  for (std::size_t i = 0; i < got.size(); ++i) EXPECT_NEAR(got[i], want[i], 1e-3F);
+}
+
+TEST_P(GemmShapes, NtMatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  Rng rng{static_cast<std::uint64_t>(m * 7 + k * 11 + n * 13)};
+  const auto a = random_vec(rng, m * k);
+  const auto b = random_vec(rng, n * k);  // [n, k]
+  std::vector<float> got(static_cast<std::size_t>(m * n));
+  kernels::gemm_nt(a.data(), b.data(), got.data(), m, k, n, false);
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        acc += static_cast<double>(a[i * k + p]) * b[j * k + p];
+      }
+      EXPECT_NEAR(got[i * n + j], static_cast<float>(acc), 1e-3F);
+    }
+  }
+}
+
+TEST_P(GemmShapes, TnMatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  Rng rng{static_cast<std::uint64_t>(m + k + n)};
+  const auto a = random_vec(rng, k * m);  // [k, m]
+  const auto b = random_vec(rng, k * n);
+  std::vector<float> got(static_cast<std::size_t>(m * n));
+  kernels::gemm_tn(a.data(), b.data(), got.data(), m, k, n, false);
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        acc += static_cast<double>(a[p * m + i]) * b[p * n + j];
+      }
+      EXPECT_NEAR(got[i * n + j], static_cast<float>(acc), 1e-3F);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GemmShapes,
+                         ::testing::Values(std::tuple{1, 1, 1}, std::tuple{2, 3, 4},
+                                           std::tuple{7, 5, 3}, std::tuple{16, 16, 16},
+                                           std::tuple{33, 17, 9},
+                                           std::tuple{128, 64, 96}));
+
+TEST(Kernels, GemmAccumulateAddsIntoC) {
+  const std::vector<float> a{1, 2};
+  const std::vector<float> b{3, 4};
+  std::vector<float> c{10.0F};
+  kernels::gemm_nt(a.data(), b.data(), c.data(), 1, 2, 1, /*accumulate=*/true);
+  EXPECT_FLOAT_EQ(c[0], 10.0F + 11.0F);
+}
+
+TEST(Kernels, SoftmaxRowsSumToOneAndOrderPreserved) {
+  Rng rng{4};
+  auto x = random_vec(rng, 6 * 9);
+  auto original = x;
+  kernels::softmax_rows(x.data(), 6, 9);
+  for (int r = 0; r < 6; ++r) {
+    float sum = 0.0F;
+    for (int c = 0; c < 9; ++c) {
+      sum += x[r * 9 + c];
+      EXPECT_GT(x[r * 9 + c], 0.0F);
+    }
+    EXPECT_NEAR(sum, 1.0F, 1e-5F);
+    // Larger logits must keep larger probabilities.
+    for (int c = 1; c < 9; ++c) {
+      if (original[r * 9 + c] > original[r * 9 + c - 1]) {
+        EXPECT_GT(x[r * 9 + c], x[r * 9 + c - 1]);
+      }
+    }
+  }
+}
+
+TEST(Kernels, SoftmaxNumericallyStable) {
+  std::vector<float> x{1000.0F, 1000.0F, -1000.0F};
+  kernels::softmax_rows(x.data(), 1, 3);
+  EXPECT_NEAR(x[0], 0.5F, 1e-5F);
+  EXPECT_NEAR(x[1], 0.5F, 1e-5F);
+  EXPECT_NEAR(x[2], 0.0F, 1e-5F);
+}
+
+TEST(Kernels, SiluDerivativeMatchesFiniteDifference) {
+  for (float x : {-3.0F, -0.5F, 0.0F, 0.7F, 2.5F}) {
+    const float eps = 1e-3F;
+    const float numeric = (kernels::silu(x + eps) - kernels::silu(x - eps)) / (2 * eps);
+    EXPECT_NEAR(kernels::silu_derivative(x), numeric, 1e-3F);
+  }
+}
+
+TEST(Kernels, RopeIsNormPreservingAndInvertible) {
+  Rng rng{5};
+  const std::int64_t heads = 2, head_dim = 8;
+  auto v = random_vec(rng, heads * head_dim);
+  const auto original = v;
+
+  double norm_before = 0.0;
+  for (float x : v) norm_before += static_cast<double>(x) * x;
+
+  kernels::rope_apply(v.data(), heads, head_dim, /*pos=*/7, 10000.0F, 1.0F);
+  double norm_after = 0.0;
+  for (float x : v) norm_after += static_cast<double>(x) * x;
+  EXPECT_NEAR(norm_before, norm_after, 1e-3);
+
+  kernels::rope_apply(v.data(), heads, head_dim, /*pos=*/7, 10000.0F, -1.0F);
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_NEAR(v[i], original[i], 1e-4F);
+}
+
+TEST(Kernels, RopePositionZeroIsIdentity) {
+  Rng rng{6};
+  auto v = random_vec(rng, 8);
+  const auto original = v;
+  kernels::rope_apply(v.data(), 1, 8, /*pos=*/0, 10000.0F, 1.0F);
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_FLOAT_EQ(v[i], original[i]);
+}
+
+TEST(Kernels, RopeRelativePropertyDotDependsOnDistance) {
+  // <R(p) q, R(p+d) k> should depend on d, not on p.
+  Rng rng{7};
+  const std::int64_t head_dim = 8;
+  const auto q = random_vec(rng, head_dim);
+  const auto k = random_vec(rng, head_dim);
+  const auto rotated_dot = [&](std::int64_t pq, std::int64_t pk) {
+    auto qr = q;
+    auto kr = k;
+    kernels::rope_apply(qr.data(), 1, head_dim, pq, 10000.0F, 1.0F);
+    kernels::rope_apply(kr.data(), 1, head_dim, pk, 10000.0F, 1.0F);
+    return kernels::dot(qr.data(), kr.data(), head_dim);
+  };
+  EXPECT_NEAR(rotated_dot(0, 3), rotated_dot(5, 8), 1e-3F);
+  EXPECT_NEAR(rotated_dot(2, 2), rotated_dot(9, 9), 1e-3F);
+}
+
+TEST(Kernels, RmsNormForwardMatchesManual) {
+  const std::vector<float> x{3.0F, 4.0F};  // rms = sqrt(12.5)
+  const std::vector<float> w{2.0F, 0.5F};
+  std::vector<float> out(2);
+  float inv_rms = 0.0F;
+  kernels::rmsnorm_forward(x.data(), w.data(), out.data(), 1, 2, 0.0F, &inv_rms);
+  const float rms = std::sqrt((9.0F + 16.0F) / 2.0F);
+  EXPECT_NEAR(out[0], 3.0F / rms * 2.0F, 1e-5F);
+  EXPECT_NEAR(out[1], 4.0F / rms * 0.5F, 1e-5F);
+  EXPECT_NEAR(inv_rms, 1.0F / rms, 1e-5F);
+}
+
+TEST(Kernels, DotHandlesTailElements) {
+  const std::vector<float> a{1, 2, 3, 4, 5, 6, 7};
+  const std::vector<float> b{1, 1, 1, 1, 1, 1, 1};
+  EXPECT_FLOAT_EQ(kernels::dot(a.data(), b.data(), 7), 28.0F);
+}
+
+}  // namespace
+}  // namespace sdd

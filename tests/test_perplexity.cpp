@@ -1,0 +1,60 @@
+// Tests for the perplexity diagnostic.
+#include <gtest/gtest.h>
+
+#include "data/corpus.hpp"
+#include "eval/perplexity.hpp"
+#include "test_helpers.hpp"
+#include "train/trainer.hpp"
+
+namespace sdd::eval {
+namespace {
+
+TEST(Perplexity, UntrainedModelNearUniform) {
+  const nn::TransformerLM model{testing::tiny_real_vocab_config(2), 81};
+  const data::World world{42};
+  const auto sequences = data::build_calibration_set(world, 3, 24, 5);
+  const PerplexityResult result = perplexity(model, sequences);
+  // An untrained model should be within a factor ~2 of uniform perplexity.
+  const double uniform = static_cast<double>(model.config().vocab_size);
+  EXPECT_GT(result.perplexity, uniform / 3.0);
+  EXPECT_LT(result.perplexity, uniform * 3.0);
+  EXPECT_EQ(result.tokens, 3 * 23);
+}
+
+TEST(Perplexity, TrainingLowersIt) {
+  const data::World world{42};
+  data::CorpusConfig corpus;
+  corpus.n_documents = 300;
+  const auto stream = data::build_pretraining_stream(world, corpus);
+
+  nn::TransformerLM model{testing::tiny_real_vocab_config(2), 82};
+  const auto sequences = data::build_calibration_set(world, 3, 24, 6);
+  const double before = perplexity(model, sequences).perplexity;
+
+  train::PretrainConfig config;
+  config.steps = 40;
+  config.warmup_steps = 4;
+  config.batch_size = 4;
+  config.seq_len = 24;
+  config.log_every = 0;
+  train::pretrain(model, stream, config);
+  const double after = perplexity(model, sequences).perplexity;
+  EXPECT_LT(after, before * 0.7);
+}
+
+TEST(Perplexity, MatchesExpOfNll) {
+  const nn::TransformerLM model{testing::tiny_real_vocab_config(1), 83};
+  const data::World world{42};
+  const auto sequences = data::build_calibration_set(world, 2, 16, 7);
+  const PerplexityResult result = perplexity(model, sequences);
+  EXPECT_NEAR(result.perplexity, std::exp(result.nll), 1e-9);
+}
+
+TEST(Perplexity, RejectsDegenerateInput) {
+  const nn::TransformerLM model{testing::tiny_real_vocab_config(1), 84};
+  EXPECT_THROW(perplexity(model, {}), std::invalid_argument);
+  EXPECT_THROW(perplexity(model, {{1}}), std::invalid_argument);  // 1 token only
+}
+
+}  // namespace
+}  // namespace sdd::eval

@@ -1,0 +1,171 @@
+// Parameterized property tests: invariants swept across shapes and seeds
+// (TEST_P suites, per the repo's testing conventions).
+#include <cmath>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "core/merge.hpp"
+#include "core/prune.hpp"
+#include "data/corpus.hpp"
+#include "nn/decode.hpp"
+#include "tensor/ops.hpp"
+#include "test_helpers.hpp"
+
+namespace sdd {
+namespace {
+
+// ---- linear gradcheck across shapes ----------------------------------------
+
+class LinearShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(LinearShapes, GradCheck) {
+  const auto [rows, in_features, out_features] = GetParam();
+  Rng rng{static_cast<std::uint64_t>(rows * 131 + in_features * 17 + out_features)};
+  Tensor x = Tensor::randn(rng, {rows, in_features}, 0.7F, true);
+  Tensor w = Tensor::randn(rng, {out_features, in_features}, 0.7F, true);
+  const auto loss = [&] {
+    Tensor y = ops::linear(x, w);
+    return ops::mean(ops::mul(y, y));
+  };
+  testing::expect_gradients_close(x, loss);
+  testing::expect_gradients_close(w, loss);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, LinearShapes,
+                         ::testing::Values(std::tuple{1, 1, 1}, std::tuple{2, 3, 5},
+                                           std::tuple{4, 8, 2}, std::tuple{3, 7, 7}));
+
+// ---- attention gradcheck across head geometry ------------------------------
+
+class AttentionShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(AttentionShapes, GradCheckQ) {
+  const auto [seq, heads, head_dim] = GetParam();
+  const std::int64_t channels = static_cast<std::int64_t>(heads) * head_dim;
+  Rng rng{static_cast<std::uint64_t>(seq * 7 + heads * 3 + head_dim)};
+  Tensor q = Tensor::randn(rng, {1, seq, channels}, 0.8F, true);
+  Tensor k = Tensor::randn(rng, {1, seq, channels}, 0.8F, false);
+  Tensor v = Tensor::randn(rng, {1, seq, channels}, 0.8F, false);
+  const auto loss = [&] {
+    Tensor o = ops::causal_self_attention(q, k, v, heads, 10000.0F);
+    return ops::mean(ops::mul(o, o));
+  };
+  testing::expect_gradients_close(q, loss, 5e-3F);
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometry, AttentionShapes,
+                         ::testing::Values(std::tuple{1, 1, 4}, std::tuple{3, 2, 4},
+                                           std::tuple{5, 1, 8}, std::tuple{4, 4, 2}));
+
+// ---- decode/forward parity across depths and lengths ------------------------
+
+class DecodeParity : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(DecodeParity, KvCacheMatchesBatchedForward) {
+  const auto [layers, seq] = GetParam();
+  const nn::TransformerLM model{testing::tiny_config(layers),
+                                static_cast<std::uint64_t>(layers * 100 + seq)};
+  Rng rng{9};
+  std::vector<std::int32_t> ids(static_cast<std::size_t>(seq));
+  for (auto& id : ids) {
+    id = static_cast<std::int32_t>(rng.uniform_int(0, model.config().vocab_size - 1));
+  }
+  NoGradGuard no_grad;
+  const Tensor logits = model.forward(ids, 1, seq);
+  auto state = model.make_decode_state();
+  const std::int64_t vocab = model.config().vocab_size;
+  for (std::int64_t t = 0; t < seq; ++t) {
+    const auto step = model.decode_step(state, ids[static_cast<std::size_t>(t)]);
+    for (std::int64_t v = 0; v < vocab; v += 7) {  // spot-check every 7th logit
+      EXPECT_NEAR(step[static_cast<std::size_t>(v)], logits.data()[t * vocab + v],
+                  3e-3F);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, DecodeParity,
+                         ::testing::Values(std::tuple{1, 4}, std::tuple{2, 9},
+                                           std::tuple{4, 16}, std::tuple{6, 25}));
+
+// ---- SLERP properties across dimensions and t -------------------------------
+
+class SlerpSweep : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(SlerpSweep, NormBoundedAndContinuous) {
+  const auto [dim, t] = GetParam();
+  Rng rng{static_cast<std::uint64_t>(dim * 31)};
+  std::vector<float> a(static_cast<std::size_t>(dim));
+  std::vector<float> b(static_cast<std::size_t>(dim));
+  for (auto& v : a) v = rng.gaussian_float(0, 1);
+  for (auto& v : b) v = rng.gaussian_float(0, 1);
+
+  const auto norm = [](const std::vector<float>& v) {
+    double s = 0.0;
+    for (float x : v) s += static_cast<double>(x) * x;
+    return std::sqrt(s);
+  };
+  const auto mid = core::slerp(a, b, static_cast<float>(t));
+  // Norm stays within a generous band around the endpoint norms (SLERP on
+  // non-unit vectors interpolates direction; magnitude stays comparable).
+  const double lo = 0.3 * std::min(norm(a), norm(b));
+  const double hi = 1.8 * std::max(norm(a), norm(b));
+  EXPECT_GE(norm(mid), lo);
+  EXPECT_LE(norm(mid), hi);
+
+  // Continuity: a small step in t moves the result only slightly.
+  const auto near = core::slerp(a, b, static_cast<float>(t) + 0.01F);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < mid.size(); ++i) {
+    diff += std::fabs(near[i] - mid[i]);
+  }
+  EXPECT_LT(diff / static_cast<double>(dim), 0.2);
+}
+
+INSTANTIATE_TEST_SUITE_P(DimsAndT, SlerpSweep,
+                         ::testing::Combine(::testing::Values(4, 64, 512),
+                                            ::testing::Values(0.1, 0.5, 0.9)));
+
+// ---- prune-curve determinism across metrics and block sizes ----------------
+
+class PruneDeterminism
+    : public ::testing::TestWithParam<std::tuple<core::ImportanceMetric, int>> {};
+
+TEST_P(PruneDeterminism, SameInputsSameCurve) {
+  const auto [metric, block] = GetParam();
+  const nn::TransformerLM model{testing::tiny_real_vocab_config(5), 21};
+  const data::World world{42};
+  const auto calibration = data::build_calibration_set(world, 2, 16, 3);
+  const auto a = core::compute_block_distances(model, calibration, block, metric);
+  const auto b = core::compute_block_distances(model, calibration, block, metric);
+  EXPECT_EQ(a.best_start, b.best_start);
+  EXPECT_EQ(a.distances, b.distances);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MetricsAndBlocks, PruneDeterminism,
+    ::testing::Combine(::testing::Values(core::ImportanceMetric::kAngularCosine,
+                                         core::ImportanceMetric::kBlockInfluence,
+                                         core::ImportanceMetric::kRelativeMagnitude),
+                       ::testing::Values(1, 2, 3)));
+
+// ---- generation budget property ---------------------------------------------
+
+class GenerateBudget : public ::testing::TestWithParam<int> {};
+
+TEST_P(GenerateBudget, NeverExceedsRequestedTokens) {
+  const int budget = GetParam();
+  const nn::TransformerLM model{testing::tiny_config(2), 33};
+  nn::GenerateOptions options;
+  options.max_new_tokens = budget;
+  const std::vector<std::int32_t> prompt{1, 2, 3};
+  const auto out = nn::generate(model, prompt, options);
+  EXPECT_LE(static_cast<int>(out.size()), budget);
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, GenerateBudget, ::testing::Values(0, 1, 5, 17));
+
+}  // namespace
+}  // namespace sdd

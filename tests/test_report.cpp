@@ -1,0 +1,139 @@
+// Tests for the JSON writer, experiment reports, and self-consistency
+// decoding.
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "eval/report.hpp"
+#include "eval/self_consistency.hpp"
+#include "test_helpers.hpp"
+#include "util/json.hpp"
+
+namespace sdd {
+namespace {
+
+TEST(Json, SimpleObject) {
+  JsonWriter json;
+  json.begin_object()
+      .field("name", "sdd")
+      .field("count", std::int64_t{3})
+      .field("ratio", 0.5)
+      .field("ok", true)
+      .end_object();
+  EXPECT_EQ(json.str(), R"({"name":"sdd","count":3,"ratio":0.5,"ok":true})");
+}
+
+TEST(Json, NestedContainers) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("values").begin_array().value(1).value(2).end_array();
+  json.key("inner").begin_object().field("x", 1.5).end_object();
+  json.end_object();
+  EXPECT_EQ(json.str(), R"({"values":[1,2],"inner":{"x":1.5}})");
+}
+
+TEST(Json, EscapesSpecialCharacters) {
+  EXPECT_EQ(JsonWriter::escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  JsonWriter json;
+  json.begin_object().field("k", "line\nbreak").end_object();
+  EXPECT_EQ(json.str(), "{\"k\":\"line\\nbreak\"}");
+}
+
+TEST(Json, StructureErrors) {
+  {
+    JsonWriter json;
+    json.begin_object();
+    EXPECT_THROW(json.value(1), std::logic_error);  // value without key
+  }
+  {
+    JsonWriter json;
+    EXPECT_THROW(json.key("x"), std::logic_error);  // key outside object
+  }
+  {
+    JsonWriter json;
+    json.begin_array();
+    EXPECT_THROW(json.end_object(), std::logic_error);
+    json.end_array();
+    EXPECT_NO_THROW(json.str());
+  }
+  {
+    JsonWriter json;
+    json.begin_object();
+    EXPECT_THROW(json.str(), std::logic_error);  // unterminated
+  }
+}
+
+TEST(Report, RoundTripStructure) {
+  eval::ExperimentReport report{"table1", "OpenLLM grid"};
+  eval::SuiteScores baseline;
+  baseline.tasks = {{"arc_c", 0.9}, {"gsm8k", 0.5}};
+  baseline.average = 0.7;
+  report.set_baseline(baseline);
+
+  eval::ReportEntry entry;
+  entry.model_label = "block3/sdd";
+  entry.method = "self_data_distill";
+  entry.prune_block = 3;
+  entry.dataset = "openmathinstruct";
+  entry.dataset_size = 1600;
+  entry.scores = baseline;
+  entry.recovery_percent = 100.0;
+  report.add(entry);
+  EXPECT_EQ(report.size(), 1U);
+
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"experiment\":\"table1\""), std::string::npos);
+  EXPECT_NE(json.find("\"recovery_percent\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"arc_c\":0.9"), std::string::npos);
+
+  const auto path = std::filesystem::temp_directory_path() / "sdd_report_test.json";
+  report.write(path);
+  std::ifstream in{path};
+  std::string contents{std::istreambuf_iterator<char>{in}, {}};
+  EXPECT_EQ(contents, json + "\n");
+  std::filesystem::remove(path);
+}
+
+TEST(SelfConsistency, SingleSampleEqualsGreedyPipeline) {
+  const nn::TransformerLM model{testing::tiny_real_vocab_config(2), 61};
+  const data::GenTask task = data::make_gsm8k_eval_task(4, 5);
+  eval::SelfConsistencyOptions options;
+  options.samples = 1;
+  const auto a = eval::evaluate_gen_self_consistent(model, task, options);
+  const auto b = eval::evaluate_gen_self_consistent(model, task, options);
+  EXPECT_EQ(a.n_correct, b.n_correct);  // greedy => deterministic
+  EXPECT_EQ(a.n_items, 4);
+}
+
+TEST(SelfConsistency, MajorityVoteAnswersAreFromSamples) {
+  const nn::TransformerLM model{testing::tiny_real_vocab_config(2), 62};
+  const data::Vocab& vocab = data::Vocab::instance();
+  std::vector<data::TokenId> prompt{vocab.bos()};
+  const auto q = vocab.encode("q : tom has 3 apples . how many apples does tom have ?");
+  prompt.insert(prompt.end(), q.begin(), q.end());
+  prompt.push_back(vocab.sep());
+
+  eval::SelfConsistencyOptions options;
+  options.samples = 3;
+  options.max_new_tokens = 12;
+  const auto answer = eval::self_consistent_answer(model, prompt, options);
+  if (answer.has_value()) {
+    EXPECT_GE(*answer, 0);
+    EXPECT_LE(*answer, data::Vocab::kMaxNumber);
+  }
+}
+
+TEST(SelfConsistency, DeterministicForFixedSeed) {
+  const nn::TransformerLM model{testing::tiny_real_vocab_config(2), 63};
+  const data::GenTask task = data::make_gsm8k_eval_task(3, 6);
+  eval::SelfConsistencyOptions options;
+  options.samples = 3;
+  options.seed = 42;
+  const auto a = eval::evaluate_gen_self_consistent(model, task, options);
+  const auto b = eval::evaluate_gen_self_consistent(model, task, options);
+  EXPECT_EQ(a.n_correct, b.n_correct);
+}
+
+}  // namespace
+}  // namespace sdd

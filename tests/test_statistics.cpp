@@ -1,0 +1,100 @@
+// Statistical and structural checks of the corpus mixture and a few edge
+// cases in the attention geometry and decode-state lifecycle.
+#include <gtest/gtest.h>
+
+#include "data/corpus.hpp"
+#include "tensor/kernels.hpp"
+#include "test_helpers.hpp"
+
+namespace sdd {
+namespace {
+
+TEST(CorpusStats, MathShareTracksMixtureWeights) {
+  const data::World world{42};
+  data::CorpusConfig config;
+  config.n_documents = 2000;
+  const auto stream = data::build_pretraining_stream(world, config);
+  const data::Vocab& vocab = data::Vocab::instance();
+
+  // "compute" only appears in solved math problems (w_math_qa of documents).
+  const data::TokenId compute = vocab.id("compute");
+  const data::TokenId bos = vocab.bos();
+  std::int64_t docs = 0, math_docs = 0;
+  bool current_has_compute = false;
+  for (const data::TokenId token : stream) {
+    if (token == bos) {
+      ++docs;
+      if (current_has_compute) ++math_docs;
+      current_has_compute = false;
+    }
+    if (token == compute) current_has_compute = true;
+  }
+  if (current_has_compute) ++math_docs;
+  const double share = static_cast<double>(math_docs) / static_cast<double>(docs);
+  EXPECT_NEAR(share, config.w_math_qa, 0.05);
+}
+
+TEST(CorpusStats, MythRateControlsMisconceptionExposure) {
+  // Color documents are either "fact : the X is C ." or "people say the X is
+  // W ."; the word "people" marks the misconception variant and "fact" the
+  // true one (neither word appears in any other corpus template).
+  const data::World world{42};
+  data::CorpusConfig config;
+  config.n_documents = 8000;
+  config.myth_rate = 0.3;
+  const auto stream = data::build_pretraining_stream(world, config);
+  const data::Vocab& vocab = data::Vocab::instance();
+  const data::TokenId people = vocab.id("people");
+  const data::TokenId fact = vocab.id("fact");
+  std::int64_t myth_docs = 0, fact_docs = 0;
+  for (const data::TokenId token : stream) {
+    if (token == people) ++myth_docs;
+    if (token == fact) ++fact_docs;
+  }
+  ASSERT_GT(myth_docs + fact_docs, 50);
+  const double ratio = static_cast<double>(myth_docs) /
+                       static_cast<double>(myth_docs + fact_docs);
+  EXPECT_NEAR(ratio, config.myth_rate, 0.10);
+}
+
+TEST(CorpusStats, CalibrationIsDeterministicPerSeed) {
+  const data::World world{42};
+  const auto a = data::build_calibration_set(world, 4, 32, 11);
+  const auto b = data::build_calibration_set(world, 4, 32, 11);
+  const auto c = data::build_calibration_set(world, 4, 32, 12);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(AttentionGeometry, OddHeadDimLeavesLastComponentUnrotated) {
+  // rope_apply rotates pairs (2i, 2i+1); with an odd head_dim the final
+  // component must pass through unchanged.
+  std::vector<float> v{1.0F, 2.0F, 3.0F, 4.0F, 5.0F};
+  const float last = v.back();
+  kernels::rope_apply(v.data(), 1, 5, /*pos=*/3, 10000.0F, 1.0F);
+  EXPECT_FLOAT_EQ(v.back(), last);
+}
+
+TEST(DecodeState, ResetReplaysIdenticalLogits) {
+  const nn::TransformerLM model{testing::tiny_config(2), 91};
+  auto state = model.make_decode_state();
+  const auto first = model.decode_step(state, 1);
+  (void)model.decode_step(state, 2);
+  state.reset();
+  const auto replay = model.decode_step(state, 1);
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_FLOAT_EQ(first[i], replay[i]);
+  }
+}
+
+TEST(DecodeState, OverflowingContextThrows) {
+  nn::ModelConfig config = testing::tiny_config(1);
+  config.max_seq_len = 4;
+  const nn::TransformerLM model{config, 92};
+  auto state = model.make_decode_state();
+  for (int t = 0; t < 4; ++t) (void)model.decode_step(state, 1);
+  EXPECT_THROW((void)model.decode_step(state, 1), std::logic_error);
+}
+
+}  // namespace
+}  // namespace sdd

@@ -1,0 +1,308 @@
+// Unit and gradient-check tests for the tensor/autograd layer.
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace sdd {
+namespace {
+
+using testing::expect_gradients_close;
+
+TEST(Tensor, ConstructionAndShape) {
+  Tensor t = Tensor::zeros({2, 3, 4});
+  EXPECT_EQ(t.numel(), 24);
+  EXPECT_EQ(t.ndim(), 3U);
+  EXPECT_EQ(t.dim(1), 3);
+  EXPECT_FALSE(t.requires_grad());
+  for (float v : t.data()) EXPECT_EQ(v, 0.0F);
+}
+
+TEST(Tensor, FromDataValidatesSize) {
+  EXPECT_THROW(Tensor::from_data({1.0F, 2.0F}, {3}), std::invalid_argument);
+  Tensor t = Tensor::from_data({1.0F, 2.0F, 3.0F}, {3});
+  EXPECT_EQ(t.data()[2], 3.0F);
+}
+
+TEST(Tensor, ItemRequiresScalar) {
+  Tensor t = Tensor::zeros({2});
+  EXPECT_THROW((void)t.item(), std::logic_error);
+  EXPECT_EQ(Tensor::full({1}, 5.0F).item(), 5.0F);
+}
+
+TEST(Tensor, DetachDropsHistoryAndGrad) {
+  Tensor a = Tensor::full({2}, 2.0F, /*requires_grad=*/true);
+  Tensor b = ops::scale(a, 3.0F);
+  Tensor d = b.detach();
+  EXPECT_FALSE(d.requires_grad());
+  EXPECT_EQ(d.data()[0], 6.0F);
+}
+
+TEST(Tensor, BackwardRequiresScalar) {
+  Tensor a = Tensor::full({2}, 1.0F, /*requires_grad=*/true);
+  Tensor b = ops::scale(a, 2.0F);
+  EXPECT_THROW(b.backward(), std::logic_error);
+}
+
+TEST(Tensor, NoGradGuardSuppressesGraph) {
+  Tensor a = Tensor::full({2}, 1.0F, /*requires_grad=*/true);
+  {
+    NoGradGuard guard;
+    Tensor b = ops::scale(a, 2.0F);
+    EXPECT_FALSE(b.requires_grad());
+  }
+  Tensor c = ops::scale(a, 2.0F);
+  EXPECT_TRUE(c.requires_grad());
+}
+
+TEST(Tensor, GradAccumulatesAcrossUses) {
+  Tensor a = Tensor::full({1}, 3.0F, /*requires_grad=*/true);
+  // loss = a*a: grad should be 2a = 6 via two uses of `a`.
+  Tensor loss = ops::mul(a, a);
+  loss.backward();
+  EXPECT_NEAR(a.grad()[0], 6.0F, 1e-5F);
+}
+
+TEST(Ops, AddScaledForward) {
+  Tensor a = Tensor::from_data({1, 2, 3}, {3});
+  Tensor b = Tensor::from_data({4, 5, 6}, {3});
+  Tensor c = ops::add_scaled(a, b, 0.5F);
+  EXPECT_FLOAT_EQ(c.data()[0], 3.0F);
+  EXPECT_FLOAT_EQ(c.data()[2], 6.0F);
+}
+
+TEST(Ops, MatmulMatchesManual) {
+  Tensor a = Tensor::from_data({1, 2, 3, 4}, {2, 2});
+  Tensor b = Tensor::from_data({5, 6, 7, 8}, {2, 2});
+  Tensor c = ops::matmul(a, b);
+  EXPECT_FLOAT_EQ(c.data()[0], 19.0F);
+  EXPECT_FLOAT_EQ(c.data()[1], 22.0F);
+  EXPECT_FLOAT_EQ(c.data()[2], 43.0F);
+  EXPECT_FLOAT_EQ(c.data()[3], 50.0F);
+}
+
+TEST(Ops, MatmulShapeValidation) {
+  Tensor a = Tensor::zeros({2, 3});
+  Tensor b = Tensor::zeros({4, 2});
+  EXPECT_THROW(ops::matmul(a, b), std::invalid_argument);
+}
+
+TEST(Ops, LinearMatchesMatmul) {
+  Rng rng{1};
+  Tensor x = Tensor::randn(rng, {4, 6}, 1.0F);
+  Tensor w = Tensor::randn(rng, {5, 6}, 1.0F);
+  Tensor y = ops::linear(x, w);
+  ASSERT_EQ(y.shape(), (Shape{4, 5}));
+  // y[i,j] = dot(x[i], w[j])
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 5; ++j) {
+      float expected = 0.0F;
+      for (int k = 0; k < 6; ++k) expected += x.data()[i * 6 + k] * w.data()[j * 6 + k];
+      EXPECT_NEAR(y.data()[i * 5 + j], expected, 1e-4F);
+    }
+  }
+}
+
+TEST(Ops, LinearBias) {
+  Tensor x = Tensor::from_data({1, 0, 0, 1}, {2, 2});
+  Tensor w = Tensor::from_data({1, 2, 3, 4}, {2, 2});
+  Tensor b = Tensor::from_data({10, 20}, {2});
+  Tensor y = ops::linear(x, w, b);
+  EXPECT_FLOAT_EQ(y.data()[0], 11.0F);
+  EXPECT_FLOAT_EQ(y.data()[1], 23.0F);
+}
+
+TEST(Ops, EmbeddingLookupAndScatterGrad) {
+  Tensor table = Tensor::from_data({1, 2, 3, 4, 5, 6}, {3, 2}, /*requires_grad=*/true);
+  Tensor out = ops::embedding({2, 0, 2}, table, {3});
+  EXPECT_FLOAT_EQ(out.data()[0], 5.0F);
+  EXPECT_FLOAT_EQ(out.data()[2], 1.0F);
+  Tensor loss = ops::sum(out);
+  loss.backward();
+  // Row 2 used twice, row 0 once, row 1 never.
+  EXPECT_FLOAT_EQ(table.grad()[0], 1.0F);
+  EXPECT_FLOAT_EQ(table.grad()[2], 0.0F);
+  EXPECT_FLOAT_EQ(table.grad()[4], 2.0F);
+}
+
+TEST(Ops, EmbeddingRejectsBadIds) {
+  Tensor table = Tensor::zeros({3, 2});
+  EXPECT_THROW(ops::embedding({3}, table, {1}), std::invalid_argument);
+}
+
+TEST(Ops, RmsNormUnitScale) {
+  // With unit gain, each row should have RMS ~= 1 after normalization.
+  Rng rng{2};
+  Tensor x = Tensor::randn(rng, {3, 8}, 2.0F);
+  Tensor w = Tensor::full({8}, 1.0F);
+  Tensor y = ops::rmsnorm(x, w);
+  for (int r = 0; r < 3; ++r) {
+    double ms = 0.0;
+    for (int c = 0; c < 8; ++c) {
+      ms += static_cast<double>(y.data()[r * 8 + c]) * y.data()[r * 8 + c];
+    }
+    EXPECT_NEAR(std::sqrt(ms / 8.0), 1.0, 1e-3);
+  }
+}
+
+TEST(Ops, SwigluForward) {
+  Tensor g = Tensor::from_data({0.0F, 1.0F}, {2});
+  Tensor u = Tensor::from_data({3.0F, 3.0F}, {2});
+  Tensor y = ops::swiglu(g, u);
+  EXPECT_NEAR(y.data()[0], 0.0F, 1e-6F);  // silu(0) = 0
+  EXPECT_NEAR(y.data()[1], 3.0F / (1.0F + std::exp(-1.0F)), 1e-5F);
+}
+
+TEST(Ops, CrossEntropyUniformLogits) {
+  // Uniform logits: loss = log(V).
+  Tensor logits = Tensor::zeros({2, 10});
+  const std::vector<std::int32_t> targets{3, 7};
+  const std::vector<float> weights{1.0F, 1.0F};
+  Tensor loss = ops::cross_entropy(logits, targets, weights);
+  EXPECT_NEAR(loss.item(), std::log(10.0F), 1e-5F);
+}
+
+TEST(Ops, CrossEntropyMaskIgnoresRows) {
+  Tensor logits = Tensor::from_data({5, 0, 0, /*row1:*/ 0, 0, 5}, {2, 3});
+  // Row 1 masked: loss = nll of row 0 target 0 only.
+  Tensor loss =
+      ops::cross_entropy(logits, std::vector<std::int32_t>{0, 0},
+                         std::vector<float>{1.0F, 0.0F});
+  const float p = std::exp(5.0F) / (std::exp(5.0F) + 2.0F);
+  EXPECT_NEAR(loss.item(), -std::log(p), 1e-4F);
+}
+
+TEST(Ops, CrossEntropyAllMaskedThrows) {
+  Tensor logits = Tensor::zeros({1, 3});
+  EXPECT_THROW(ops::cross_entropy(logits, std::vector<std::int32_t>{0},
+                                  std::vector<float>{0.0F}),
+               std::invalid_argument);
+}
+
+TEST(Ops, MeanAndSum) {
+  Tensor a = Tensor::from_data({1, 2, 3, 4}, {4});
+  EXPECT_FLOAT_EQ(ops::sum(a).item(), 10.0F);
+  EXPECT_FLOAT_EQ(ops::mean(a).item(), 2.5F);
+}
+
+// ------------------------------ gradient checks ------------------------------
+
+TEST(GradCheck, AddScaled) {
+  Rng rng{10};
+  Tensor a = Tensor::randn(rng, {2, 3}, 1.0F, true);
+  Tensor b = Tensor::randn(rng, {2, 3}, 1.0F, true);
+  const auto loss = [&] { return ops::mean(ops::mul(ops::add_scaled(a, b, 0.7F),
+                                                    ops::add_scaled(a, b, 0.7F))); };
+  expect_gradients_close(a, loss);
+  expect_gradients_close(b, loss);
+}
+
+TEST(GradCheck, Mul) {
+  Rng rng{11};
+  Tensor a = Tensor::randn(rng, {6}, 1.0F, true);
+  Tensor b = Tensor::randn(rng, {6}, 1.0F, true);
+  const auto loss = [&] { return ops::sum(ops::mul(a, b)); };
+  expect_gradients_close(a, loss);
+}
+
+TEST(GradCheck, Matmul) {
+  Rng rng{12};
+  Tensor a = Tensor::randn(rng, {3, 4}, 0.7F, true);
+  Tensor b = Tensor::randn(rng, {4, 2}, 0.7F, true);
+  const auto loss = [&] {
+    Tensor c = ops::matmul(a, b);
+    return ops::mean(ops::mul(c, c));
+  };
+  expect_gradients_close(a, loss);
+  expect_gradients_close(b, loss);
+}
+
+TEST(GradCheck, LinearWithBias) {
+  Rng rng{13};
+  Tensor x = Tensor::randn(rng, {2, 3, 4}, 0.7F, true);
+  Tensor w = Tensor::randn(rng, {5, 4}, 0.7F, true);
+  Tensor b = Tensor::randn(rng, {5}, 0.7F, true);
+  const auto loss = [&] {
+    Tensor y = ops::linear(x, w, b);
+    return ops::mean(ops::mul(y, y));
+  };
+  expect_gradients_close(x, loss);
+  expect_gradients_close(w, loss);
+  expect_gradients_close(b, loss);
+}
+
+TEST(GradCheck, RmsNorm) {
+  Rng rng{14};
+  Tensor x = Tensor::randn(rng, {3, 6}, 1.0F, true);
+  Tensor w = Tensor::randn(rng, {6}, 0.5F, true);
+  const auto loss = [&] {
+    Tensor y = ops::rmsnorm(x, w);
+    return ops::mean(ops::mul(y, y));
+  };
+  expect_gradients_close(x, loss);
+  expect_gradients_close(w, loss);
+}
+
+TEST(GradCheck, Swiglu) {
+  Rng rng{15};
+  Tensor g = Tensor::randn(rng, {8}, 1.0F, true);
+  Tensor u = Tensor::randn(rng, {8}, 1.0F, true);
+  const auto loss = [&] { return ops::mean(ops::swiglu(g, u)); };
+  expect_gradients_close(g, loss);
+  expect_gradients_close(u, loss);
+}
+
+TEST(GradCheck, CausalSelfAttention) {
+  Rng rng{16};
+  const std::int64_t batch = 2, seq = 5, channels = 8, heads = 2;
+  Tensor q = Tensor::randn(rng, {batch, seq, channels}, 0.8F, true);
+  Tensor k = Tensor::randn(rng, {batch, seq, channels}, 0.8F, true);
+  Tensor v = Tensor::randn(rng, {batch, seq, channels}, 0.8F, true);
+  const auto loss = [&] {
+    Tensor o = ops::causal_self_attention(q, k, v, heads, 10000.0F);
+    return ops::mean(ops::mul(o, o));
+  };
+  expect_gradients_close(q, loss, 5e-3F);
+  expect_gradients_close(k, loss, 5e-3F);
+  expect_gradients_close(v, loss, 5e-3F);
+}
+
+TEST(GradCheck, CrossEntropy) {
+  Rng rng{17};
+  Tensor logits = Tensor::randn(rng, {4, 7}, 1.0F, true);
+  const std::vector<std::int32_t> targets{1, 3, 0, 6};
+  const std::vector<float> weights{1.0F, 0.0F, 2.0F, 1.0F};
+  const auto loss = [&] { return ops::cross_entropy(logits, targets, weights); };
+  expect_gradients_close(logits, loss, 5e-3F);
+}
+
+TEST(Attention, CausalityHoldsExactly) {
+  // Changing a future token must not affect earlier outputs.
+  Rng rng{18};
+  const std::int64_t batch = 1, seq = 6, channels = 8;
+  Tensor q = Tensor::randn(rng, {batch, seq, channels}, 1.0F);
+  Tensor k = Tensor::randn(rng, {batch, seq, channels}, 1.0F);
+  Tensor v = Tensor::randn(rng, {batch, seq, channels}, 1.0F);
+  Tensor out1 = ops::causal_self_attention(q, k, v, 2, 10000.0F);
+
+  // Perturb the last position of q, k, v.
+  for (std::int64_t c = 0; c < channels; ++c) {
+    q.data()[(seq - 1) * channels + c] += 5.0F;
+    k.data()[(seq - 1) * channels + c] -= 3.0F;
+    v.data()[(seq - 1) * channels + c] *= -2.0F;
+  }
+  Tensor out2 = ops::causal_self_attention(q, k, v, 2, 10000.0F);
+  for (std::int64_t p = 0; p < seq - 1; ++p) {
+    for (std::int64_t c = 0; c < channels; ++c) {
+      EXPECT_FLOAT_EQ(out1.data()[p * channels + c], out2.data()[p * channels + c]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sdd

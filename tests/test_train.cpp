@@ -1,0 +1,175 @@
+// Tests for the optimizer, LR schedule, and the two training loops.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/corpus.hpp"
+#include "tensor/ops.hpp"
+#include "test_helpers.hpp"
+#include "train/trainer.hpp"
+
+namespace sdd::train {
+namespace {
+
+TEST(AdamW, MinimizesQuadratic) {
+  // f(x) = sum (x - 3)^2: AdamW should walk x toward 3.
+  Tensor x = Tensor::full({4}, 0.0F, /*requires_grad=*/true);
+  AdamWConfig config;
+  config.lr = 0.1F;
+  config.weight_decay = 0.0F;
+  AdamW optimizer{{{"x", x}}, config};
+  for (int step = 0; step < 300; ++step) {
+    Tensor target = Tensor::full({4}, 3.0F);
+    Tensor diff = ops::add_scaled(x, target, -1.0F);
+    Tensor loss = ops::sum(ops::mul(diff, diff));
+    optimizer.zero_grad();
+    loss.backward();
+    optimizer.step();
+  }
+  for (float v : x.data()) EXPECT_NEAR(v, 3.0F, 0.05F);
+}
+
+TEST(AdamW, FirstStepSizeIsLearningRate) {
+  // With bias correction, |delta| of the very first step is ~lr regardless of
+  // gradient magnitude.
+  Tensor x = Tensor::full({1}, 5.0F, /*requires_grad=*/true);
+  AdamWConfig config;
+  config.lr = 0.25F;
+  config.weight_decay = 0.0F;
+  AdamW optimizer{{{"x", x}}, config};
+  Tensor loss = ops::scale(x, 100.0F);  // grad = 100
+  optimizer.zero_grad();
+  loss.backward();
+  optimizer.step();
+  EXPECT_NEAR(x.data()[0], 5.0F - 0.25F, 1e-3F);
+}
+
+TEST(AdamW, WeightDecayShrinksWeights) {
+  Tensor x = Tensor::full({1}, 10.0F, /*requires_grad=*/true);
+  AdamWConfig config;
+  config.lr = 0.1F;
+  config.weight_decay = 0.5F;
+  AdamW optimizer{{{"x", x}}, config};
+  // Zero gradient: only decoupled decay acts.
+  x.grad();  // allocate zero grad
+  optimizer.step();
+  EXPECT_NEAR(x.data()[0], 10.0F - 0.1F * 0.5F * 10.0F, 1e-4F);
+}
+
+TEST(AdamW, ClipGradientsScalesGlobalNorm) {
+  Tensor x = Tensor::full({2}, 0.0F, /*requires_grad=*/true);
+  AdamW optimizer{{{"x", x}}, {}};
+  auto grad = x.grad();
+  grad[0] = 3.0F;
+  grad[1] = 4.0F;  // norm 5
+  const float norm = optimizer.clip_gradients(1.0F);
+  EXPECT_NEAR(norm, 5.0F, 1e-5F);
+  EXPECT_NEAR(x.grad()[0], 0.6F, 1e-5F);
+  EXPECT_NEAR(x.grad()[1], 0.8F, 1e-5F);
+}
+
+TEST(AdamW, ClipLeavesSmallGradientsAlone) {
+  Tensor x = Tensor::full({1}, 0.0F, /*requires_grad=*/true);
+  AdamW optimizer{{{"x", x}}, {}};
+  x.grad()[0] = 0.5F;
+  optimizer.clip_gradients(1.0F);
+  EXPECT_FLOAT_EQ(x.grad()[0], 0.5F);
+}
+
+TEST(CosineLr, WarmupAndDecayShape) {
+  const float base = 1.0F, min_lr = 0.1F;
+  // Warmup ramps linearly.
+  EXPECT_LT(cosine_lr(0, 100, 10, base, min_lr), base * 0.2F);
+  EXPECT_FLOAT_EQ(cosine_lr(9, 100, 10, base, min_lr), base);
+  // Midpoint of decay ~ (base+min)/2.
+  EXPECT_NEAR(cosine_lr(55, 100, 10, base, min_lr), (base + min_lr) / 2.0F, 0.02F);
+  // End of schedule = min_lr.
+  EXPECT_NEAR(cosine_lr(100, 100, 10, base, min_lr), min_lr, 1e-5F);
+  // Monotone decreasing after warmup.
+  float previous = cosine_lr(10, 100, 10, base, min_lr);
+  for (int step = 11; step <= 100; ++step) {
+    const float lr = cosine_lr(step, 100, 10, base, min_lr);
+    EXPECT_LE(lr, previous + 1e-6F);
+    previous = lr;
+  }
+}
+
+TEST(Pretrain, ReducesLoss) {
+  const data::World world{42};
+  data::CorpusConfig corpus;
+  corpus.n_documents = 300;
+  const auto stream = data::build_pretraining_stream(world, corpus);
+
+  nn::TransformerLM model{sdd::testing::tiny_real_vocab_config(2), 3};
+  PretrainConfig config;
+  config.steps = 60;
+  config.warmup_steps = 5;
+  config.batch_size = 4;
+  config.seq_len = 24;
+  config.log_every = 0;
+  const TrainStats stats = pretrain(model, stream, config);
+  EXPECT_EQ(stats.losses.size(), 60U);
+  EXPECT_LT(stats.final_loss, stats.initial_loss - 0.5F);
+}
+
+TEST(Sft, ReducesLossAndRespectsMask) {
+  const data::World world{42};
+  const data::SftDataset dataset = data::make_gsm8k_dataset(world, 32, 5);
+
+  nn::TransformerLM model{sdd::testing::tiny_real_vocab_config(2), 4};
+  SftTrainConfig config;
+  config.epochs = 20;
+  config.max_steps = 60;
+  config.batch_size = 4;
+  const TrainStats stats = sft_train(model, dataset, config);
+  EXPECT_LT(stats.final_loss, stats.initial_loss);
+}
+
+TEST(Sft, LoraTrainingOnlyChangesAdapters) {
+  const data::World world{42};
+  const data::SftDataset dataset = data::make_gsm8k_dataset(world, 16, 6);
+
+  nn::TransformerLM model{sdd::testing::tiny_real_vocab_config(2), 5};
+  const std::uint64_t base_embed_hash = [&] {
+    const auto params = model.parameters();
+    return model.weight_hash();
+  }();
+  model.attach_lora(nn::LoraConfig{.rank = 2, .alpha = 4.0F}, 11);
+
+  SftTrainConfig config;
+  config.epochs = 2;
+  config.max_steps = 5;
+  config.batch_size = 4;
+  sft_train(model, dataset, config);
+
+  // Base weights (embedding, attention W, norms) must be untouched; merging
+  // back changes the weights.
+  bool adapters_moved = false;
+  for (const nn::NamedParam& p : model.trainable_parameters()) {
+    for (float v : p.tensor.data()) {
+      if (v != 0.0F) adapters_moved = true;
+    }
+  }
+  EXPECT_TRUE(adapters_moved);
+  model.merge_lora();
+  EXPECT_NE(model.weight_hash(), base_embed_hash);
+}
+
+TEST(Sft, LossEvaluationIsDeterministic) {
+  const data::World world{42};
+  const data::SftDataset dataset = data::make_gsm8k_dataset(world, 12, 7);
+  const nn::TransformerLM model{sdd::testing::tiny_real_vocab_config(2), 6};
+  const float a = sft_loss(model, dataset, 12);
+  const float b = sft_loss(model, dataset, 12);
+  EXPECT_FLOAT_EQ(a, b);
+  EXPECT_GT(a, 0.0F);
+}
+
+TEST(Sft, EmptyDatasetThrows) {
+  nn::TransformerLM model{sdd::testing::tiny_real_vocab_config(2), 7};
+  data::SftDataset dataset;
+  EXPECT_THROW(sft_train(model, dataset, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sdd::train
