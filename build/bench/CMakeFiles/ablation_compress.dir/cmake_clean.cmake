@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_compress.dir/ablation_compress.cpp.o"
+  "CMakeFiles/ablation_compress.dir/ablation_compress.cpp.o.d"
+  "ablation_compress"
+  "ablation_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

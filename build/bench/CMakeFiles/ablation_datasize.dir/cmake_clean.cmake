@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_datasize.dir/ablation_datasize.cpp.o"
+  "CMakeFiles/ablation_datasize.dir/ablation_datasize.cpp.o.d"
+  "ablation_datasize"
+  "ablation_datasize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_datasize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

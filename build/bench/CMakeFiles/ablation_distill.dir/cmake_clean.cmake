@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_distill.dir/ablation_distill.cpp.o"
+  "CMakeFiles/ablation_distill.dir/ablation_distill.cpp.o.d"
+  "ablation_distill"
+  "ablation_distill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_distill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

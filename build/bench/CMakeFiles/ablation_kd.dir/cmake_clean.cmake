@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_kd.dir/ablation_kd.cpp.o"
+  "CMakeFiles/ablation_kd.dir/ablation_kd.cpp.o.d"
+  "ablation_kd"
+  "ablation_kd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_kd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_metrics.cpp" "bench/CMakeFiles/ablation_metrics.dir/ablation_metrics.cpp.o" "gcc" "bench/CMakeFiles/ablation_metrics.dir/ablation_metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sdd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/sdd_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/sdd_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/sdd_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/sdd_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/sdd_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sdd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

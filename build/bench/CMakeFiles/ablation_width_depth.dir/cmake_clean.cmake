@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_width_depth.dir/ablation_width_depth.cpp.o"
+  "CMakeFiles/ablation_width_depth.dir/ablation_width_depth.cpp.o.d"
+  "ablation_width_depth"
+  "ablation_width_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_width_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_recovery.dir/fig1_recovery.cpp.o"
+  "CMakeFiles/fig1_recovery.dir/fig1_recovery.cpp.o.d"
+  "fig1_recovery"
+  "fig1_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_embedding.dir/fig2_embedding.cpp.o"
+  "CMakeFiles/fig2_embedding.dir/fig2_embedding.cpp.o.d"
+  "fig2_embedding"
+  "fig2_embedding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_embedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_metrics.dir/fig2_metrics.cpp.o"
+  "CMakeFiles/fig2_metrics.dir/fig2_metrics.cpp.o.d"
+  "fig2_metrics"
+  "fig2_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_dataset_grid.dir/fig3_dataset_grid.cpp.o"
+  "CMakeFiles/fig3_dataset_grid.dir/fig3_dataset_grid.cpp.o.d"
+  "fig3_dataset_grid"
+  "fig3_dataset_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_dataset_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_openllm.dir/table1_openllm.cpp.o"
+  "CMakeFiles/table1_openllm.dir/table1_openllm.cpp.o.d"
+  "table1_openllm"
+  "table1_openllm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_openllm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

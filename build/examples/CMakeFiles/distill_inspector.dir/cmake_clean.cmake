@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distill_inspector.dir/distill_inspector.cpp.o"
+  "CMakeFiles/distill_inspector.dir/distill_inspector.cpp.o.d"
+  "distill_inspector"
+  "distill_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distill_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

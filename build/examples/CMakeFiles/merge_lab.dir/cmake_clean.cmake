@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merge_lab.dir/merge_lab.cpp.o"
+  "CMakeFiles/merge_lab.dir/merge_lab.cpp.o.d"
+  "merge_lab"
+  "merge_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merge_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prune_explorer.dir/prune_explorer.cpp.o"
+  "CMakeFiles/prune_explorer.dir/prune_explorer.cpp.o.d"
+  "prune_explorer"
+  "prune_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prune_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

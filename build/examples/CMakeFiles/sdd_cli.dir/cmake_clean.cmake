@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdd_cli.dir/sdd_cli.cpp.o"
+  "CMakeFiles/sdd_cli.dir/sdd_cli.cpp.o.d"
+  "sdd_cli"
+  "sdd_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdd_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

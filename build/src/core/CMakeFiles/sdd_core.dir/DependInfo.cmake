@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cache.cpp" "src/core/CMakeFiles/sdd_core.dir/cache.cpp.o" "gcc" "src/core/CMakeFiles/sdd_core.dir/cache.cpp.o.d"
+  "/root/repo/src/core/distill.cpp" "src/core/CMakeFiles/sdd_core.dir/distill.cpp.o" "gcc" "src/core/CMakeFiles/sdd_core.dir/distill.cpp.o.d"
+  "/root/repo/src/core/kd.cpp" "src/core/CMakeFiles/sdd_core.dir/kd.cpp.o" "gcc" "src/core/CMakeFiles/sdd_core.dir/kd.cpp.o.d"
+  "/root/repo/src/core/merge.cpp" "src/core/CMakeFiles/sdd_core.dir/merge.cpp.o" "gcc" "src/core/CMakeFiles/sdd_core.dir/merge.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/sdd_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/sdd_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/prune.cpp" "src/core/CMakeFiles/sdd_core.dir/prune.cpp.o" "gcc" "src/core/CMakeFiles/sdd_core.dir/prune.cpp.o.d"
+  "/root/repo/src/core/quant.cpp" "src/core/CMakeFiles/sdd_core.dir/quant.cpp.o" "gcc" "src/core/CMakeFiles/sdd_core.dir/quant.cpp.o.d"
+  "/root/repo/src/core/sparsify.cpp" "src/core/CMakeFiles/sdd_core.dir/sparsify.cpp.o" "gcc" "src/core/CMakeFiles/sdd_core.dir/sparsify.cpp.o.d"
+  "/root/repo/src/core/width_prune.cpp" "src/core/CMakeFiles/sdd_core.dir/width_prune.cpp.o" "gcc" "src/core/CMakeFiles/sdd_core.dir/width_prune.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/sdd_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/sdd_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/sdd_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/sdd_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sdd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdd_core.dir/cache.cpp.o"
+  "CMakeFiles/sdd_core.dir/cache.cpp.o.d"
+  "CMakeFiles/sdd_core.dir/distill.cpp.o"
+  "CMakeFiles/sdd_core.dir/distill.cpp.o.d"
+  "CMakeFiles/sdd_core.dir/kd.cpp.o"
+  "CMakeFiles/sdd_core.dir/kd.cpp.o.d"
+  "CMakeFiles/sdd_core.dir/merge.cpp.o"
+  "CMakeFiles/sdd_core.dir/merge.cpp.o.d"
+  "CMakeFiles/sdd_core.dir/pipeline.cpp.o"
+  "CMakeFiles/sdd_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/sdd_core.dir/prune.cpp.o"
+  "CMakeFiles/sdd_core.dir/prune.cpp.o.d"
+  "CMakeFiles/sdd_core.dir/quant.cpp.o"
+  "CMakeFiles/sdd_core.dir/quant.cpp.o.d"
+  "CMakeFiles/sdd_core.dir/sparsify.cpp.o"
+  "CMakeFiles/sdd_core.dir/sparsify.cpp.o.d"
+  "CMakeFiles/sdd_core.dir/width_prune.cpp.o"
+  "CMakeFiles/sdd_core.dir/width_prune.cpp.o.d"
+  "libsdd_core.a"
+  "libsdd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

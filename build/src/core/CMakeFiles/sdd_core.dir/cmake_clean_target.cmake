@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsdd_core.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/corpus.cpp" "src/data/CMakeFiles/sdd_data.dir/corpus.cpp.o" "gcc" "src/data/CMakeFiles/sdd_data.dir/corpus.cpp.o.d"
+  "/root/repo/src/data/evalset.cpp" "src/data/CMakeFiles/sdd_data.dir/evalset.cpp.o" "gcc" "src/data/CMakeFiles/sdd_data.dir/evalset.cpp.o.d"
+  "/root/repo/src/data/kb_gen.cpp" "src/data/CMakeFiles/sdd_data.dir/kb_gen.cpp.o" "gcc" "src/data/CMakeFiles/sdd_data.dir/kb_gen.cpp.o.d"
+  "/root/repo/src/data/math_gen.cpp" "src/data/CMakeFiles/sdd_data.dir/math_gen.cpp.o" "gcc" "src/data/CMakeFiles/sdd_data.dir/math_gen.cpp.o.d"
+  "/root/repo/src/data/sft.cpp" "src/data/CMakeFiles/sdd_data.dir/sft.cpp.o" "gcc" "src/data/CMakeFiles/sdd_data.dir/sft.cpp.o.d"
+  "/root/repo/src/data/vocab.cpp" "src/data/CMakeFiles/sdd_data.dir/vocab.cpp.o" "gcc" "src/data/CMakeFiles/sdd_data.dir/vocab.cpp.o.d"
+  "/root/repo/src/data/world.cpp" "src/data/CMakeFiles/sdd_data.dir/world.cpp.o" "gcc" "src/data/CMakeFiles/sdd_data.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sdd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdd_data.dir/corpus.cpp.o"
+  "CMakeFiles/sdd_data.dir/corpus.cpp.o.d"
+  "CMakeFiles/sdd_data.dir/evalset.cpp.o"
+  "CMakeFiles/sdd_data.dir/evalset.cpp.o.d"
+  "CMakeFiles/sdd_data.dir/kb_gen.cpp.o"
+  "CMakeFiles/sdd_data.dir/kb_gen.cpp.o.d"
+  "CMakeFiles/sdd_data.dir/math_gen.cpp.o"
+  "CMakeFiles/sdd_data.dir/math_gen.cpp.o.d"
+  "CMakeFiles/sdd_data.dir/sft.cpp.o"
+  "CMakeFiles/sdd_data.dir/sft.cpp.o.d"
+  "CMakeFiles/sdd_data.dir/vocab.cpp.o"
+  "CMakeFiles/sdd_data.dir/vocab.cpp.o.d"
+  "CMakeFiles/sdd_data.dir/world.cpp.o"
+  "CMakeFiles/sdd_data.dir/world.cpp.o.d"
+  "libsdd_data.a"
+  "libsdd_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdd_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

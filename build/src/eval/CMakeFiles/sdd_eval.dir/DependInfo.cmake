@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/embedding.cpp" "src/eval/CMakeFiles/sdd_eval.dir/embedding.cpp.o" "gcc" "src/eval/CMakeFiles/sdd_eval.dir/embedding.cpp.o.d"
+  "/root/repo/src/eval/flops.cpp" "src/eval/CMakeFiles/sdd_eval.dir/flops.cpp.o" "gcc" "src/eval/CMakeFiles/sdd_eval.dir/flops.cpp.o.d"
+  "/root/repo/src/eval/harness.cpp" "src/eval/CMakeFiles/sdd_eval.dir/harness.cpp.o" "gcc" "src/eval/CMakeFiles/sdd_eval.dir/harness.cpp.o.d"
+  "/root/repo/src/eval/perplexity.cpp" "src/eval/CMakeFiles/sdd_eval.dir/perplexity.cpp.o" "gcc" "src/eval/CMakeFiles/sdd_eval.dir/perplexity.cpp.o.d"
+  "/root/repo/src/eval/report.cpp" "src/eval/CMakeFiles/sdd_eval.dir/report.cpp.o" "gcc" "src/eval/CMakeFiles/sdd_eval.dir/report.cpp.o.d"
+  "/root/repo/src/eval/self_consistency.cpp" "src/eval/CMakeFiles/sdd_eval.dir/self_consistency.cpp.o" "gcc" "src/eval/CMakeFiles/sdd_eval.dir/self_consistency.cpp.o.d"
+  "/root/repo/src/eval/suite.cpp" "src/eval/CMakeFiles/sdd_eval.dir/suite.cpp.o" "gcc" "src/eval/CMakeFiles/sdd_eval.dir/suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/sdd_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/sdd_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/sdd_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sdd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdd_eval.dir/embedding.cpp.o"
+  "CMakeFiles/sdd_eval.dir/embedding.cpp.o.d"
+  "CMakeFiles/sdd_eval.dir/flops.cpp.o"
+  "CMakeFiles/sdd_eval.dir/flops.cpp.o.d"
+  "CMakeFiles/sdd_eval.dir/harness.cpp.o"
+  "CMakeFiles/sdd_eval.dir/harness.cpp.o.d"
+  "CMakeFiles/sdd_eval.dir/perplexity.cpp.o"
+  "CMakeFiles/sdd_eval.dir/perplexity.cpp.o.d"
+  "CMakeFiles/sdd_eval.dir/report.cpp.o"
+  "CMakeFiles/sdd_eval.dir/report.cpp.o.d"
+  "CMakeFiles/sdd_eval.dir/self_consistency.cpp.o"
+  "CMakeFiles/sdd_eval.dir/self_consistency.cpp.o.d"
+  "CMakeFiles/sdd_eval.dir/suite.cpp.o"
+  "CMakeFiles/sdd_eval.dir/suite.cpp.o.d"
+  "libsdd_eval.a"
+  "libsdd_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdd_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

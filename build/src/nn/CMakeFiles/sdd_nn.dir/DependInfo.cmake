@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/block.cpp" "src/nn/CMakeFiles/sdd_nn.dir/block.cpp.o" "gcc" "src/nn/CMakeFiles/sdd_nn.dir/block.cpp.o.d"
+  "/root/repo/src/nn/decode.cpp" "src/nn/CMakeFiles/sdd_nn.dir/decode.cpp.o" "gcc" "src/nn/CMakeFiles/sdd_nn.dir/decode.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/nn/CMakeFiles/sdd_nn.dir/linear.cpp.o" "gcc" "src/nn/CMakeFiles/sdd_nn.dir/linear.cpp.o.d"
+  "/root/repo/src/nn/module.cpp" "src/nn/CMakeFiles/sdd_nn.dir/module.cpp.o" "gcc" "src/nn/CMakeFiles/sdd_nn.dir/module.cpp.o.d"
+  "/root/repo/src/nn/transformer.cpp" "src/nn/CMakeFiles/sdd_nn.dir/transformer.cpp.o" "gcc" "src/nn/CMakeFiles/sdd_nn.dir/transformer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/sdd_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sdd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

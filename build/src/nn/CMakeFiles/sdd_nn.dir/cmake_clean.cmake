@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdd_nn.dir/block.cpp.o"
+  "CMakeFiles/sdd_nn.dir/block.cpp.o.d"
+  "CMakeFiles/sdd_nn.dir/decode.cpp.o"
+  "CMakeFiles/sdd_nn.dir/decode.cpp.o.d"
+  "CMakeFiles/sdd_nn.dir/linear.cpp.o"
+  "CMakeFiles/sdd_nn.dir/linear.cpp.o.d"
+  "CMakeFiles/sdd_nn.dir/module.cpp.o"
+  "CMakeFiles/sdd_nn.dir/module.cpp.o.d"
+  "CMakeFiles/sdd_nn.dir/transformer.cpp.o"
+  "CMakeFiles/sdd_nn.dir/transformer.cpp.o.d"
+  "libsdd_nn.a"
+  "libsdd_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdd_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

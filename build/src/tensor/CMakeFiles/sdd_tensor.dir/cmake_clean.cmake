@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdd_tensor.dir/kernels.cpp.o"
+  "CMakeFiles/sdd_tensor.dir/kernels.cpp.o.d"
+  "CMakeFiles/sdd_tensor.dir/ops.cpp.o"
+  "CMakeFiles/sdd_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/sdd_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/sdd_tensor.dir/tensor.cpp.o.d"
+  "libsdd_tensor.a"
+  "libsdd_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdd_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsdd_tensor.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdd_train.dir/optim.cpp.o"
+  "CMakeFiles/sdd_train.dir/optim.cpp.o.d"
+  "CMakeFiles/sdd_train.dir/trainer.cpp.o"
+  "CMakeFiles/sdd_train.dir/trainer.cpp.o.d"
+  "libsdd_train.a"
+  "libsdd_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdd_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdd_util.dir/env.cpp.o"
+  "CMakeFiles/sdd_util.dir/env.cpp.o.d"
+  "CMakeFiles/sdd_util.dir/hash.cpp.o"
+  "CMakeFiles/sdd_util.dir/hash.cpp.o.d"
+  "CMakeFiles/sdd_util.dir/json.cpp.o"
+  "CMakeFiles/sdd_util.dir/json.cpp.o.d"
+  "CMakeFiles/sdd_util.dir/log.cpp.o"
+  "CMakeFiles/sdd_util.dir/log.cpp.o.d"
+  "CMakeFiles/sdd_util.dir/serialize.cpp.o"
+  "CMakeFiles/sdd_util.dir/serialize.cpp.o.d"
+  "CMakeFiles/sdd_util.dir/table.cpp.o"
+  "CMakeFiles/sdd_util.dir/table.cpp.o.d"
+  "CMakeFiles/sdd_util.dir/threadpool.cpp.o"
+  "CMakeFiles/sdd_util.dir/threadpool.cpp.o.d"
+  "libsdd_util.a"
+  "libsdd_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdd_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

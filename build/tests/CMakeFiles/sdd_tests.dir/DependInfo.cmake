@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_compress.cpp" "tests/CMakeFiles/sdd_tests.dir/test_compress.cpp.o" "gcc" "tests/CMakeFiles/sdd_tests.dir/test_compress.cpp.o.d"
+  "/root/repo/tests/test_config.cpp" "tests/CMakeFiles/sdd_tests.dir/test_config.cpp.o" "gcc" "tests/CMakeFiles/sdd_tests.dir/test_config.cpp.o.d"
+  "/root/repo/tests/test_core.cpp" "tests/CMakeFiles/sdd_tests.dir/test_core.cpp.o" "gcc" "tests/CMakeFiles/sdd_tests.dir/test_core.cpp.o.d"
+  "/root/repo/tests/test_data.cpp" "tests/CMakeFiles/sdd_tests.dir/test_data.cpp.o" "gcc" "tests/CMakeFiles/sdd_tests.dir/test_data.cpp.o.d"
+  "/root/repo/tests/test_eval.cpp" "tests/CMakeFiles/sdd_tests.dir/test_eval.cpp.o" "gcc" "tests/CMakeFiles/sdd_tests.dir/test_eval.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/sdd_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/sdd_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/sdd_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/sdd_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_invariants.cpp" "tests/CMakeFiles/sdd_tests.dir/test_invariants.cpp.o" "gcc" "tests/CMakeFiles/sdd_tests.dir/test_invariants.cpp.o.d"
+  "/root/repo/tests/test_kernels.cpp" "tests/CMakeFiles/sdd_tests.dir/test_kernels.cpp.o" "gcc" "tests/CMakeFiles/sdd_tests.dir/test_kernels.cpp.o.d"
+  "/root/repo/tests/test_nn.cpp" "tests/CMakeFiles/sdd_tests.dir/test_nn.cpp.o" "gcc" "tests/CMakeFiles/sdd_tests.dir/test_nn.cpp.o.d"
+  "/root/repo/tests/test_perplexity.cpp" "tests/CMakeFiles/sdd_tests.dir/test_perplexity.cpp.o" "gcc" "tests/CMakeFiles/sdd_tests.dir/test_perplexity.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/sdd_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/sdd_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/sdd_tests.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/sdd_tests.dir/test_report.cpp.o.d"
+  "/root/repo/tests/test_statistics.cpp" "tests/CMakeFiles/sdd_tests.dir/test_statistics.cpp.o" "gcc" "tests/CMakeFiles/sdd_tests.dir/test_statistics.cpp.o.d"
+  "/root/repo/tests/test_tensor.cpp" "tests/CMakeFiles/sdd_tests.dir/test_tensor.cpp.o" "gcc" "tests/CMakeFiles/sdd_tests.dir/test_tensor.cpp.o.d"
+  "/root/repo/tests/test_train.cpp" "tests/CMakeFiles/sdd_tests.dir/test_train.cpp.o" "gcc" "tests/CMakeFiles/sdd_tests.dir/test_train.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/sdd_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/sdd_tests.dir/test_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sdd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/sdd_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/sdd_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/sdd_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/sdd_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/sdd_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sdd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
