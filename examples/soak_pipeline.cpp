@@ -1,0 +1,62 @@
+// Soak-test driver for the durability layer (used by scripts/fault_soak.sh).
+//
+// Runs a complete pipeline pass — pretrain -> prune -> self-data distillation
+// recovery -> table-1-style eval — at whatever scale the SDD_* environment
+// overrides select, then writes a deterministic result digest (weight hashes
+// + metrics) to SDD_SOAK_OUT. The soak script kills this program at injected
+// fault points (SDD_FAULT=crash_at_step:N, ...), restarts it, and asserts the
+// digest is byte-identical to an uninterrupted run's.
+//
+// Exit code 0 means the digest was written; a crash fault exits 137.
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "core/pipeline.hpp"
+#include "eval/suite.hpp"
+#include "util/env.hpp"
+#include "util/hash.hpp"
+#include "util/log.hpp"
+
+using namespace sdd;
+
+int main() {
+  core::PipelineConfig config = core::PipelineConfig::standard();
+  core::Pipeline pipeline{config};
+
+  const std::int64_t block = env_int("SDD_SOAK_BLOCK", 1);
+  const std::int64_t dataset_size = env_int("SDD_SOAK_DATASET_SIZE", 16);
+  const std::string dataset = env_string("SDD_SOAK_DATASET", "gsm8k");
+
+  const nn::TransformerLM& base = pipeline.base_model();
+  const nn::TransformerLM recovered = pipeline.recovered(
+      block, core::FtMethod::kSelfDataDistill, dataset, dataset_size);
+
+  eval::SuiteSpec spec;
+  spec.mc_items = env_int("SDD_SOAK_ITEMS", 6);
+  spec.gen_items = spec.mc_items;
+  const auto scores =
+      eval::evaluate_suite(recovered, pipeline.world(), eval::core_tasks(), spec);
+
+  // The digest is written with plain stdio, outside the fault-instrumented
+  // artifact path: it reports results, it is not an artifact under test.
+  const std::string out_path = env_string(
+      "SDD_SOAK_OUT", (pipeline.cache().directory() / "soak_result.txt").string());
+  std::ofstream out{out_path, std::ios::trunc};
+  out << "base_weight_hash " << hash_hex(base.weight_hash()) << '\n';
+  out << "recovered_weight_hash " << hash_hex(recovered.weight_hash()) << '\n';
+  char buffer[64];
+  for (const auto& [name, score] : scores.tasks) {
+    std::snprintf(buffer, sizeof(buffer), "%.10f", score);
+    out << "metric " << name << ' ' << buffer << '\n';
+  }
+  std::snprintf(buffer, sizeof(buffer), "%.10f", scores.average);
+  out << "metric average " << buffer << '\n';
+  out.flush();
+  if (!out) {
+    log_error("soak: failed to write ", out_path);
+    return 1;
+  }
+  std::printf("soak: digest written to %s\n", out_path.c_str());
+  return 0;
+}

@@ -1,0 +1,137 @@
+#!/usr/bin/env bash
+# Fault-injection soak test for the crash-safe artifact store and resumable
+# training (ISSUE acceptance criterion): repeatedly kill a pipeline run at
+# injected fault points, restart it against the same cache, and assert the
+# final result digest is byte-identical to an uninterrupted run's.
+#
+# Usage: scripts/fault_soak.sh [build-dir]
+#
+# Faults exercised (see src/util/fault.hpp):
+#   crash_at_step:N   _Exit(137) mid-training (pretrain and SFT step counts)
+#   crash_at_io:N     _Exit(137) between tmp-file fsync and rename
+#   truncate_write    artifact stores write a torn half-blob to the final path
+#   io_fail:p=1       every artifact store fails outright
+set -euo pipefail
+
+BUILD="${1:-build}"
+SOAK="${BUILD}/examples/soak_pipeline"
+if [[ ! -x "${SOAK}" ]]; then
+  echo "fault_soak: ${SOAK} not found; build it first (cmake --build ${BUILD} --target soak_pipeline)" >&2
+  exit 2
+fi
+
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/sdd_soak.XXXXXX")"
+trap 'rm -rf "${WORK}"' EXIT
+
+# Tiny but non-degenerate scale: 40 pretrain steps checkpointed every 7, 20
+# SFT steps checkpointed every 5, so crash points land both before the first
+# checkpoint and between checkpoints.
+export SDD_LOG_LEVEL="${SDD_LOG_LEVEL:-warn}"
+export SDD_DMODEL="${SDD_DMODEL:-32}" SDD_HEADS="${SDD_HEADS:-2}"
+export SDD_LAYERS="${SDD_LAYERS:-4}" SDD_DFF="${SDD_DFF:-64}"
+export SDD_MAX_SEQ="${SDD_MAX_SEQ:-64}"
+export SDD_CORPUS_DOCS="${SDD_CORPUS_DOCS:-400}"
+export SDD_PRETRAIN_STEPS="${SDD_PRETRAIN_STEPS:-40}"
+export SDD_PRETRAIN_BATCH="${SDD_PRETRAIN_BATCH:-2}"
+export SDD_PRETRAIN_SEQ="${SDD_PRETRAIN_SEQ:-48}"
+export SDD_SFT_EPOCHS="${SDD_SFT_EPOCHS:-4}"
+export SDD_SFT_MAX_STEPS="${SDD_SFT_MAX_STEPS:-20}"
+export SDD_SFT_BATCH="${SDD_SFT_BATCH:-2}"
+export SDD_DISTILL_MAX_TOKENS="${SDD_DISTILL_MAX_TOKENS:-8}"
+export SDD_CKPT_EVERY="${SDD_CKPT_EVERY:-7}" SDD_SFT_CKPT_EVERY="${SDD_SFT_CKPT_EVERY:-5}"
+export SDD_SOAK_BLOCK="${SDD_SOAK_BLOCK:-1}"
+export SDD_SOAK_DATASET_SIZE="${SDD_SOAK_DATASET_SIZE:-6}"
+export SDD_SOAK_ITEMS="${SDD_SOAK_ITEMS:-4}"
+
+# The step-based crash points below assume the default 40-step pretrain /
+# 12-step SFT schedule; overriding the training knobs may move them past the
+# end of the run (the case then fails with "unexpected exit status").
+
+pass=0
+fail=0
+declare -a summary
+
+report() { # name ok
+  if [[ "$2" == ok ]]; then
+    pass=$((pass + 1)); summary+=("PASS  $1")
+  else
+    fail=$((fail + 1)); summary+=("FAIL  $1")
+  fi
+}
+
+run_soak() { # cache-dir digest-out [fault-spec]
+  local cache="$1" digest="$2" fault="${3:-}"
+  if [[ -n "${fault}" ]]; then
+    SDD_CACHE_DIR="${cache}" SDD_SOAK_OUT="${digest}" SDD_FAULT="${fault}" \
+      "${SOAK}" >/dev/null 2>&1
+  else
+    SDD_CACHE_DIR="${cache}" SDD_SOAK_OUT="${digest}" "${SOAK}" >/dev/null 2>&1
+  fi
+}
+
+echo "== reference run (no faults)"
+REF="${WORK}/reference.txt"
+run_soak "${WORK}/cache_ref" "${REF}"
+[[ -s "${REF}" ]] || { echo "fault_soak: reference run produced no digest" >&2; exit 2; }
+
+check_case() { # name fault-spec expect-crash
+  local name="$1" fault="$2" expect_crash="$3"
+  local cache="${WORK}/cache_${name}" digest="${WORK}/digest_${name}.txt"
+  echo "== ${name} (SDD_FAULT=${fault})"
+
+  local crashed=ok
+  if run_soak "${cache}" "${digest}" "${fault}"; then
+    [[ "${expect_crash}" == yes ]] && crashed=bad
+  else
+    [[ "${expect_crash}" == no ]] && crashed=bad
+  fi
+  if [[ "${crashed}" == bad ]]; then
+    echo "   unexpected exit status under fault (expect_crash=${expect_crash})"
+    report "${name}" bad
+    return
+  fi
+
+  # Restart (or re-run) without faults against the same cache: it must load
+  # or quarantine what the faulted run left behind and converge on the
+  # reference digest byte-for-byte.
+  if ! run_soak "${cache}" "${digest}"; then
+    echo "   clean rerun failed after fault"
+    report "${name}" bad
+    return
+  fi
+  if cmp -s "${REF}" "${digest}"; then
+    report "${name}" ok
+  else
+    echo "   digest differs from reference:"
+    diff "${REF}" "${digest}" || true
+    report "${name}" bad
+  fi
+}
+
+# Kill -9-equivalent crashes mid-pretrain (before the first checkpoint, between
+# checkpoints) and mid-SFT (global step counter keeps counting across loops:
+# 40 pretrain steps, then 12 SFT steps, so 48 is SFT step 8, after the SFT
+# checkpoint at step 5).
+check_case crash_pretrain_early   "crash_at_step:3"  yes
+check_case crash_pretrain_mid     "crash_at_step:17" yes
+check_case crash_pretrain_late    "crash_at_step:39" yes
+check_case crash_sft              "crash_at_step:48" yes
+
+# Crash at the worst torn point of an artifact commit: tmp file durable,
+# rename not yet issued.
+check_case crash_commit_first     "crash_at_io:1"    yes
+check_case crash_commit_later     "crash_at_io:4"    yes
+
+# Torn writes land directly in the final artifact path; the checksum footer
+# must flag them as corrupt and the rerun must quarantine + recompute.
+check_case torn_writes            "truncate_write"   no
+
+# Every store fails: caching is best-effort, so the run still completes and
+# the rerun recomputes everything from scratch.
+check_case store_blackout         "io_fail:p=1"      no
+
+echo
+echo "== fault soak summary"
+printf '%s\n' "${summary[@]}"
+echo "-- ${pass} passed, ${fail} failed"
+[[ "${fail}" -eq 0 ]]

@@ -2,7 +2,7 @@
 # Run the complete table/figure/ablation suite in a cache-friendly order
 # (tables first so the figure benches reuse their fine-tuned checkpoints),
 # then the microbenchmarks. Usage: scripts/run_suite.sh [build-dir]
-set -u
+set -euo pipefail
 BUILD="${1:-build}"
 
 BENCHES=(
@@ -21,14 +21,31 @@ BENCHES=(
   micro_substrate
 )
 
-status=0
+declare -a results
+failed=0
 for bench in "${BENCHES[@]}"; do
   echo "=============================================================="
   echo "== ${bench}"
   echo "=============================================================="
-  if ! "${BUILD}/bench/${bench}"; then
+  if [[ ! -x "${BUILD}/bench/${bench}" ]]; then
+    echo "!! ${bench} MISSING (not built?)"
+    results+=("MISSING  ${bench}")
+    failed=$((failed + 1))
+    continue
+  fi
+  # A failing bench must not abort the suite under `set -e`; record and go on.
+  if "${BUILD}/bench/${bench}"; then
+    results+=("PASS     ${bench}")
+  else
     echo "!! ${bench} FAILED (exit $?)"
-    status=1
+    results+=("FAIL     ${bench}")
+    failed=$((failed + 1))
   fi
 done
-exit "${status}"
+
+echo "=============================================================="
+echo "== suite summary"
+echo "=============================================================="
+printf '%s\n' "${results[@]}"
+echo "-- $((${#BENCHES[@]} - failed))/${#BENCHES[@]} benches passed"
+exit "$((failed > 0 ? 1 : 0))"

@@ -1,8 +1,10 @@
 #include "core/cache.hpp"
 
 #include <fstream>
+#include <sstream>
 
 #include "util/hash.hpp"
+#include "util/log.hpp"
 #include "util/serialize.hpp"
 
 namespace sdd::core {
@@ -16,6 +18,7 @@ ExperimentCache::ExperimentCache(std::filesystem::path directory)
   std::filesystem::create_directories(directory_ / "models");
   std::filesystem::create_directories(directory_ / "datasets");
   std::filesystem::create_directories(directory_ / "metrics");
+  std::filesystem::create_directories(directory_ / "checkpoints");
 }
 
 std::filesystem::path ExperimentCache::model_path(std::uint64_t key) const {
@@ -27,11 +30,27 @@ std::filesystem::path ExperimentCache::dataset_path(std::uint64_t key) const {
 std::filesystem::path ExperimentCache::metric_path(std::uint64_t key) const {
   return directory_ / "metrics" / (hash_hex(key) + ".txt");
 }
+std::filesystem::path ExperimentCache::checkpoint_path(std::uint64_t key) const {
+  return directory_ / "checkpoints" / (hash_hex(key) + ".ckpt");
+}
+
+void ExperimentCache::quarantine(const std::filesystem::path& path,
+                                 const char* kind, const char* reason) const {
+  ++quarantined_;
+  log_warn("cache: corrupt ", kind, " artifact ", path.string(), ": ", reason,
+           " — quarantined to *.corrupt, treating as cache miss");
+  quarantine_artifact(path);
+}
 
 std::optional<nn::TransformerLM> ExperimentCache::load_model(std::uint64_t key) const {
   const auto path = model_path(key);
   if (!std::filesystem::exists(path)) return std::nullopt;
-  return nn::TransformerLM::load(path);
+  try {
+    return nn::TransformerLM::load(path);
+  } catch (const SerializeError& e) {
+    quarantine(path, "model", e.what());
+    return std::nullopt;
+  }
 }
 
 void ExperimentCache::store_model(std::uint64_t key,
@@ -43,23 +62,28 @@ std::optional<data::SftDataset> ExperimentCache::load_dataset(
     std::uint64_t key) const {
   const auto path = dataset_path(key);
   if (!std::filesystem::exists(path)) return std::nullopt;
-  BinaryReader reader{path};
-  reader.expect_magic(kDatasetMagic, kDatasetVersion);
-  data::SftDataset dataset;
-  dataset.name = reader.read_string();
-  dataset.family = static_cast<data::TaskFamily>(reader.read_u32());
-  const std::uint64_t n = reader.read_u64();
-  dataset.examples.reserve(n);
-  for (std::uint64_t i = 0; i < n; ++i) {
-    data::SftExample example;
-    example.prompt = reader.read_vector<data::TokenId>();
-    example.target = reader.read_vector<data::TokenId>();
-    example.extract = static_cast<data::ExtractKind>(reader.read_u32());
-    example.numeric_answer = reader.read_i64();
-    example.answer_key = reader.read_vector<data::TokenId>();
-    dataset.examples.push_back(std::move(example));
+  try {
+    BinaryReader reader{path};
+    reader.expect_magic(kDatasetMagic, kDatasetVersion);
+    data::SftDataset dataset;
+    dataset.name = reader.read_string();
+    dataset.family = static_cast<data::TaskFamily>(reader.read_u32());
+    const std::uint64_t n = reader.read_u64();
+    dataset.examples.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      data::SftExample example;
+      example.prompt = reader.read_vector<data::TokenId>();
+      example.target = reader.read_vector<data::TokenId>();
+      example.extract = static_cast<data::ExtractKind>(reader.read_u32());
+      example.numeric_answer = reader.read_i64();
+      example.answer_key = reader.read_vector<data::TokenId>();
+      dataset.examples.push_back(std::move(example));
+    }
+    return dataset;
+  } catch (const SerializeError& e) {
+    quarantine(path, "dataset", e.what());
+    return std::nullopt;
   }
-  return dataset;
 }
 
 void ExperimentCache::store_dataset(std::uint64_t key,
@@ -84,14 +108,19 @@ std::optional<double> ExperimentCache::load_metric(std::uint64_t key) const {
   if (!std::filesystem::exists(path)) return std::nullopt;
   std::ifstream in{path};
   double value = 0.0;
-  if (!(in >> value)) return std::nullopt;
+  std::string trailing;
+  if (!(in >> value) || (in >> trailing)) {
+    quarantine(path, "metric", "unparseable scalar");
+    return std::nullopt;
+  }
   return value;
 }
 
 void ExperimentCache::store_metric(std::uint64_t key, double value) const {
-  std::ofstream out{metric_path(key)};
+  std::ostringstream out;
   out.precision(17);
   out << value << '\n';
+  atomic_write_text(metric_path(key), out.str());
 }
 
 }  // namespace sdd::core

@@ -5,6 +5,12 @@
 // 64-bit key so that benches share work: the figure benches reuse the table
 // benches' models, and re-runs are incremental. Delete the cache directory
 // for a cold run.
+//
+// Durability contract: stores are atomic (tmp + fsync + rename through
+// util/serialize) and loads treat a corrupt, truncated, or version-stale
+// artifact as a cache miss — the file is logged, quarantined to
+// `<name>.corrupt`, and the caller recomputes. A killed process or a torn
+// write can therefore never poison the cache or crash a bench.
 #pragma once
 
 #include <cstdint>
@@ -32,12 +38,24 @@ class ExperimentCache {
   std::optional<double> load_metric(std::uint64_t key) const;
   void store_metric(std::uint64_t key, double value) const;
 
- private:
+  // Where a training loop keyed by `key` keeps its mid-run checkpoint (see
+  // train::PretrainConfig::checkpoint_path).
+  std::filesystem::path checkpoint_path(std::uint64_t key) const;
+
+  // Number of artifacts quarantined by this cache instance (observability +
+  // test hook).
+  std::int64_t quarantined_count() const { return quarantined_; }
+
   std::filesystem::path model_path(std::uint64_t key) const;
   std::filesystem::path dataset_path(std::uint64_t key) const;
   std::filesystem::path metric_path(std::uint64_t key) const;
 
+ private:
+  void quarantine(const std::filesystem::path& path, const char* kind,
+                  const char* reason) const;
+
   std::filesystem::path directory_;
+  mutable std::int64_t quarantined_ = 0;
 };
 
 }  // namespace sdd::core

@@ -7,6 +7,7 @@
 #include "tensor/kernels.hpp"
 #include "tensor/ops.hpp"
 #include "train/optim.hpp"
+#include "util/fault.hpp"
 #include "util/log.hpp"
 
 namespace sdd::core {
@@ -87,6 +88,7 @@ train::TrainStats kd_train(nn::TransformerLM& student,
     if (config.log_every > 0 && step % config.log_every == 0) {
       log_info("kd[", dataset.name, "] step ", step, "/", steps, " loss=", loss_value);
     }
+    fault::on_train_step();
   }
   stats.final_loss = stats.losses.empty()
                          ? 0.0F

@@ -6,6 +6,7 @@
 
 #include "util/env.hpp"
 #include "util/log.hpp"
+#include "util/serialize.hpp"
 
 namespace sdd::core {
 
@@ -54,6 +55,12 @@ PipelineConfig PipelineConfig::standard() {
 
   config.distill.max_new_tokens = env_int("SDD_DISTILL_MAX_TOKENS", 48);
 
+  // Crash safety: how often (in steps) the training loops checkpoint; 0
+  // disables. The checkpoint files live under <cache_dir>/checkpoints and are
+  // removed when a run completes.
+  config.pretrain.checkpoint_every = env_int("SDD_CKPT_EVERY", 500);
+  config.sft.checkpoint_every = env_int("SDD_SFT_CKPT_EVERY", 25);
+
   config.cache_dir = env_string("SDD_CACHE_DIR", "sdd_cache");
   return config;
 }
@@ -93,12 +100,25 @@ const nn::TransformerLM& Pipeline::base_model() {
   const std::vector<data::TokenId> stream =
       data::build_pretraining_stream(world_, config_.corpus);
   auto model = std::make_unique<nn::TransformerLM>(config_.model, config_.base_seed);
-  const train::TrainStats stats = train::pretrain(*model, stream, config_.pretrain);
+  train::PretrainConfig pretrain_config = config_.pretrain;
+  pretrain_config.checkpoint_path = cache_.checkpoint_path(key);
+  const train::TrainStats stats = train::pretrain(*model, stream, pretrain_config);
   log_info("pipeline: pre-training done, loss ", stats.initial_loss, " -> ",
            stats.final_loss);
-  cache_.store_model(key, *model);
+  store_model_best_effort(key, *model, "base model");
   base_ = std::move(model);
   return *base_;
+}
+
+void Pipeline::store_model_best_effort(std::uint64_t key,
+                                       const nn::TransformerLM& model,
+                                       const char* what) {
+  try {
+    cache_.store_model(key, model);
+  } catch (const SerializeError& e) {
+    log_warn("pipeline: failed to cache ", what, " (key=", hash_hex(key),
+             "): ", e.what(), " — continuing uncached");
+  }
 }
 
 const std::vector<std::vector<data::TokenId>>& Pipeline::calibration() {
@@ -139,7 +159,12 @@ data::SftDataset Pipeline::distilled_dataset(const std::string& name,
   const data::SftDataset raw = raw_dataset(name, size);
   const data::SftDataset distilled =
       self_distill_dataset(base_model(), raw, config_.distill, stats);
-  cache_.store_dataset(key, distilled);
+  try {
+    cache_.store_dataset(key, distilled);
+  } catch (const SerializeError& e) {
+    log_warn("pipeline: failed to cache distilled dataset ", distilled.name,
+             ": ", e.what(), " — continuing uncached");
+  }
   return distilled;
 }
 
@@ -217,13 +242,15 @@ nn::TransformerLM Pipeline::recovered(std::int64_t block_size, FtMethod method,
   model.attach_lora(config_.lora, /*seed=*/key);
   const bool use_kd =
       method == FtMethod::kKd || method == FtMethod::kSelfDataDistillKd;
+  train::SftTrainConfig sft_config = config_.sft;
+  sft_config.checkpoint_path = cache_.checkpoint_path(key);
   const train::TrainStats stats =
-      use_kd ? kd_train(model, base_model(), dataset, config_.sft, config_.kd)
-             : train::sft_train(model, dataset, config_.sft);
+      use_kd ? kd_train(model, base_model(), dataset, sft_config, config_.kd)
+             : train::sft_train(model, dataset, sft_config);
   model.merge_lora();
   log_info("pipeline: ", method_name(method), " on ", dataset.name, " n=", block_size,
            " loss ", stats.initial_loss, " -> ", stats.final_loss);
-  cache_.store_model(key, model);
+  store_model_best_effort(key, model, "recovered model");
   return model;
 }
 

@@ -120,6 +120,12 @@ class Pipeline {
                               std::int64_t size) const;
 
  private:
+  // Caching an artifact is an optimization, never a correctness requirement:
+  // a failed store (full disk, injected fault) is logged and the in-memory
+  // result is used as-is.
+  void store_model_best_effort(std::uint64_t key, const nn::TransformerLM& model,
+                               const char* what);
+
   PipelineConfig config_;
   data::World world_;
   ExperimentCache cache_;

@@ -61,6 +61,34 @@ void AdamW::step(float lr) {
   }
 }
 
+void AdamW::save_state(BinaryWriter& writer) const {
+  writer.write_i64(step_count_);
+  writer.write_u64(m_.size());
+  for (std::size_t i = 0; i < m_.size(); ++i) {
+    writer.write_vector(m_[i]);
+    writer.write_vector(v_[i]);
+  }
+}
+
+void AdamW::load_state(BinaryReader& reader) {
+  const std::int64_t step_count = reader.read_i64();
+  const std::uint64_t n = reader.read_u64();
+  if (n != m_.size()) {
+    throw SerializeError("AdamW::load_state: parameter count mismatch");
+  }
+  std::vector<std::vector<float>> m(n), v(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    m[i] = reader.read_vector<float>();
+    v[i] = reader.read_vector<float>();
+    if (m[i].size() != m_[i].size() || v[i].size() != v_[i].size()) {
+      throw SerializeError("AdamW::load_state: moment shape mismatch");
+    }
+  }
+  step_count_ = step_count;
+  m_ = std::move(m);
+  v_ = std::move(v);
+}
+
 float cosine_lr(std::int64_t step, std::int64_t total_steps, std::int64_t warmup_steps,
                 float base_lr, float min_lr) {
   if (total_steps <= 0) throw std::invalid_argument("cosine_lr: total_steps <= 0");

@@ -7,6 +7,7 @@
 
 #include "nn/module.hpp"
 #include "util/hash.hpp"
+#include "util/serialize.hpp"
 
 namespace sdd::train {
 
@@ -44,6 +45,12 @@ class AdamW {
 
   const AdamWConfig& config() const { return config_; }
   std::int64_t step_count() const { return step_count_; }
+
+  // Checkpoint support: serialize/restore step count and both moment buffers.
+  // load_state throws SerializeError if the stored shapes do not match this
+  // optimizer's parameter list.
+  void save_state(BinaryWriter& writer) const;
+  void load_state(BinaryReader& reader);
 
  private:
   nn::ParamList params_;

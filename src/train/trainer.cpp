@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <numeric>
+#include <optional>
 #include <stdexcept>
 
 #include "tensor/ops.hpp"
+#include "util/fault.hpp"
 #include "util/log.hpp"
+#include "util/serialize.hpp"
 
 namespace sdd::train {
 namespace {
@@ -15,6 +18,119 @@ float tail_mean(const std::vector<float>& losses) {
   const std::size_t tail = std::max<std::size_t>(1, losses.size() / 10);
   const auto begin = losses.end() - static_cast<std::ptrdiff_t>(tail);
   return std::accumulate(begin, losses.end(), 0.0F) / static_cast<float>(tail);
+}
+
+// ---- mid-run checkpointing ------------------------------------------------
+//
+// A checkpoint is a single checksummed artifact holding everything the loop
+// needs to continue exactly where it stopped: trainable parameter values,
+// AdamW moments + step count, the RNG stream position, and the next step
+// index. A fingerprint of the run configuration guards against resuming a
+// checkpoint from a different run that happens to share the path.
+
+constexpr std::string_view kCheckpointMagic = "SDDCKPT1";
+constexpr std::uint32_t kCheckpointVersion = 1;
+
+std::uint64_t params_fingerprint(const nn::ParamList& params,
+                                 std::uint64_t seed_hash) {
+  std::uint64_t h = seed_hash;
+  for (const nn::NamedParam& p : params) {
+    h = fnv1a(p.name, h);
+    h = fnv1a_value(p.tensor.numel(), h);
+  }
+  return h;
+}
+
+void save_checkpoint(const std::filesystem::path& path, std::uint64_t fingerprint,
+                     std::int64_t next_step, const nn::ParamList& params,
+                     const AdamW& optimizer, const Rng& rng) {
+  try {
+    BinaryWriter writer{path};
+    writer.write_magic(kCheckpointMagic, kCheckpointVersion);
+    writer.write_u64(fingerprint);
+    writer.write_i64(next_step);
+    const Rng::State rng_state = rng.state();
+    for (std::uint64_t word : rng_state.words) writer.write_u64(word);
+    writer.write_f64(rng_state.cached_gaussian);
+    writer.write_bool(rng_state.cached_gaussian_valid);
+    writer.write_u64(params.size());
+    for (const nn::NamedParam& p : params) {
+      writer.write_string(p.name);
+      const auto data = p.tensor.data();
+      writer.write_vector(std::vector<float>(data.begin(), data.end()));
+    }
+    optimizer.save_state(writer);
+    writer.flush();
+  } catch (const SerializeError& e) {
+    // A failed checkpoint must never kill the run it exists to protect.
+    log_warn("checkpoint: failed to save ", path.string(), ": ", e.what(),
+             " (training continues)");
+  }
+}
+
+// Restores state from `path` and returns the step to resume from, or nullopt
+// (fresh start) when there is no checkpoint or it is stale/corrupt. All
+// mutation happens only after the whole file has parsed, so a bad checkpoint
+// can never leave the model half-restored.
+std::optional<std::int64_t> try_resume(const std::filesystem::path& path,
+                                       std::uint64_t fingerprint,
+                                       nn::ParamList& params, AdamW& optimizer,
+                                       Rng& rng) {
+  if (!std::filesystem::exists(path)) return std::nullopt;
+  try {
+    BinaryReader reader{path};
+    reader.expect_magic(kCheckpointMagic, kCheckpointVersion);
+    if (reader.read_u64() != fingerprint) {
+      log_warn("checkpoint: ", path.string(),
+               " belongs to a different run configuration; starting fresh");
+      std::error_code ec;
+      std::filesystem::remove(path, ec);
+      return std::nullopt;
+    }
+    const std::int64_t next_step = reader.read_i64();
+    Rng::State rng_state;
+    for (std::uint64_t& word : rng_state.words) word = reader.read_u64();
+    rng_state.cached_gaussian = reader.read_f64();
+    rng_state.cached_gaussian_valid = reader.read_bool();
+    const std::uint64_t count = reader.read_u64();
+    if (count != params.size()) {
+      throw SerializeError("checkpoint: parameter count mismatch");
+    }
+    std::vector<std::vector<float>> values;
+    values.reserve(params.size());
+    for (const nn::NamedParam& p : params) {
+      const std::string name = reader.read_string();
+      if (name != p.name) {
+        throw SerializeError("checkpoint: parameter order mismatch at " + p.name);
+      }
+      values.push_back(reader.read_vector<float>());
+      if (static_cast<std::int64_t>(values.back().size()) != p.tensor.numel()) {
+        throw SerializeError("checkpoint: shape mismatch for " + name);
+      }
+    }
+    optimizer.load_state(reader);  // throws before mutating on mismatch
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      params[i].tensor.copy_from(values[i]);
+    }
+    rng.set_state(rng_state);
+    return next_step;
+  } catch (const SerializeError& e) {
+    log_warn("checkpoint: corrupt ", path.string(), ": ", e.what(),
+             " — quarantined, starting fresh");
+    quarantine_artifact(path);
+    return std::nullopt;
+  }
+}
+
+bool checkpointing_enabled(const std::filesystem::path& path,
+                           std::int64_t every) {
+  return !path.empty() && every > 0;
+}
+
+void finish_checkpointing(const std::filesystem::path& path) {
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+  std::filesystem::remove(std::filesystem::path{path.string() + ".tmp"}, ec);
 }
 
 }  // namespace
@@ -73,10 +189,35 @@ TrainStats pretrain(nn::TransformerLM& model, std::span<const data::TokenId> str
   if (static_cast<std::int64_t>(stream.size()) < config.seq_len + 2) {
     throw std::invalid_argument("pretrain: stream shorter than one window");
   }
-  AdamW optimizer{model.trainable_parameters(), config.optimizer};
+  nn::ParamList params = model.trainable_parameters();
+  AdamW optimizer{params, config.optimizer};
   Rng rng{config.seed};
   TrainStats stats;
   stats.losses.reserve(static_cast<std::size_t>(config.steps));
+
+  const bool checkpointing =
+      checkpointing_enabled(config.checkpoint_path, config.checkpoint_every);
+  std::uint64_t fingerprint = 0;
+  std::int64_t start_step = 0;
+  if (checkpointing) {
+    std::uint64_t h = fnv1a("pretrain");
+    h = fnv1a_bytes(std::as_bytes(stream), h);
+    h = fnv1a_value(config.steps, h);
+    h = fnv1a_value(config.batch_size, h);
+    h = fnv1a_value(config.seq_len, h);
+    h = fnv1a_value(config.warmup_steps, h);
+    h = fnv1a_value(config.clip_norm, h);
+    h = fnv1a_value(config.min_lr_fraction, h);
+    h = fnv1a_value(config.seed, h);
+    h = hash_combine(h, config.optimizer.hash());
+    fingerprint = params_fingerprint(params, h);
+    if (const auto resumed = try_resume(config.checkpoint_path, fingerprint,
+                                        params, optimizer, rng)) {
+      start_step = *resumed;
+      log_info("pretrain: resumed from checkpoint at step ", start_step, "/",
+               config.steps);
+    }
+  }
 
   const std::int64_t max_start =
       static_cast<std::int64_t>(stream.size()) - config.seq_len - 1;
@@ -85,7 +226,7 @@ TrainStats pretrain(nn::TransformerLM& model, std::span<const data::TokenId> str
   std::vector<std::int32_t> targets(inputs.size());
   const std::vector<float> weights(inputs.size(), 1.0F);
 
-  for (std::int64_t step = 0; step < config.steps; ++step) {
+  for (std::int64_t step = start_step; step < config.steps; ++step) {
     for (std::int64_t b = 0; b < config.batch_size; ++b) {
       const std::int64_t start = rng.uniform_int(0, max_start);
       for (std::int64_t t = 0; t < config.seq_len; ++t) {
@@ -106,11 +247,18 @@ TrainStats pretrain(nn::TransformerLM& model, std::span<const data::TokenId> str
     optimizer.step(lr);
 
     stats.losses.push_back(loss_value);
-    if (step == 0) stats.initial_loss = loss_value;
+    if (step == start_step) stats.initial_loss = loss_value;
     if (config.log_every > 0 && (step % config.log_every == 0)) {
       log_info("pretrain step ", step, "/", config.steps, " loss=", loss_value);
     }
+    if (checkpointing && (step + 1) % config.checkpoint_every == 0 &&
+        step + 1 < config.steps) {
+      save_checkpoint(config.checkpoint_path, fingerprint, step + 1, params,
+                      optimizer, rng);
+    }
+    fault::on_train_step();
   }
+  if (checkpointing) finish_checkpointing(config.checkpoint_path);
   stats.final_loss = tail_mean(stats.losses);
   return stats;
 }
@@ -120,7 +268,8 @@ TrainStats sft_train(nn::TransformerLM& model, const data::SftDataset& dataset,
   if (dataset.examples.empty()) {
     throw std::invalid_argument("sft_train: empty dataset");
   }
-  AdamW optimizer{model.trainable_parameters(), config.optimizer};
+  nn::ParamList params = model.trainable_parameters();
+  AdamW optimizer{params, config.optimizer};
   Rng rng{config.seed};
   TrainStats stats;
 
@@ -131,7 +280,25 @@ TrainStats sft_train(nn::TransformerLM& model, const data::SftDataset& dataset,
       std::min(config.max_steps, config.epochs * steps_per_epoch);
   const std::int64_t max_len = model.config().max_seq_len;
 
-  for (std::int64_t step = 0; step < steps; ++step) {
+  const bool checkpointing =
+      checkpointing_enabled(config.checkpoint_path, config.checkpoint_every);
+  std::uint64_t fingerprint = 0;
+  std::int64_t start_step = 0;
+  if (checkpointing) {
+    std::uint64_t h = fnv1a("sft");
+    h = hash_combine(h, dataset.hash());
+    h = hash_combine(h, config.hash());
+    h = fnv1a_value(max_len, h);
+    fingerprint = params_fingerprint(params, h);
+    if (const auto resumed = try_resume(config.checkpoint_path, fingerprint,
+                                        params, optimizer, rng)) {
+      start_step = *resumed;
+      log_info("sft[", dataset.name, "]: resumed from checkpoint at step ",
+               start_step, "/", steps);
+    }
+  }
+
+  for (std::int64_t step = start_step; step < steps; ++step) {
     std::vector<const data::SftExample*> picked;
     picked.reserve(static_cast<std::size_t>(config.batch_size));
     for (std::int64_t b = 0; b < config.batch_size; ++b) {
@@ -150,12 +317,19 @@ TrainStats sft_train(nn::TransformerLM& model, const data::SftDataset& dataset,
     optimizer.step(lr);
 
     stats.losses.push_back(loss_value);
-    if (step == 0) stats.initial_loss = loss_value;
+    if (step == start_step) stats.initial_loss = loss_value;
     if (config.log_every > 0 && (step % config.log_every == 0)) {
       log_info("sft[", dataset.name, "] step ", step, "/", steps,
                " loss=", loss_value);
     }
+    if (checkpointing && (step + 1) % config.checkpoint_every == 0 &&
+        step + 1 < steps) {
+      save_checkpoint(config.checkpoint_path, fingerprint, step + 1, params,
+                      optimizer, rng);
+    }
+    fault::on_train_step();
   }
+  if (checkpointing) finish_checkpointing(config.checkpoint_path);
   stats.final_loss = tail_mean(stats.losses);
   return stats;
 }

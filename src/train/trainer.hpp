@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <filesystem>
 #include <vector>
 
 #include "data/sft.hpp"
@@ -42,6 +43,15 @@ struct PretrainConfig {
   AdamWConfig optimizer{.lr = 3e-3F};
   std::uint64_t seed = 1;
   std::int64_t log_every = 100;  // 0 disables progress logging
+
+  // Mid-run crash safety: every `checkpoint_every` steps the trainable
+  // parameters, optimizer moments, RNG state, and step counter are written
+  // atomically to `checkpoint_path`; a restarted run resumes from the last
+  // checkpoint and produces bit-identical final weights. Both fields must be
+  // set to enable it. Deliberately excluded from result-identity hashes —
+  // checkpointing never changes what is computed, only how it survives.
+  std::filesystem::path checkpoint_path;
+  std::int64_t checkpoint_every = 0;
 };
 
 TrainStats pretrain(nn::TransformerLM& model, std::span<const data::TokenId> stream,
@@ -57,6 +67,11 @@ struct SftTrainConfig {
   AdamWConfig optimizer{.lr = 1e-3F};
   std::uint64_t seed = 2;
   std::int64_t log_every = 0;
+
+  // See PretrainConfig: both must be set to enable checkpoint/resume; not
+  // part of hash() because they do not affect the trained weights.
+  std::filesystem::path checkpoint_path;
+  std::int64_t checkpoint_every = 0;
 
   std::uint64_t hash() const {
     std::uint64_t h = optimizer.hash();

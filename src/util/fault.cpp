@@ -1,0 +1,199 @@
+#include "util/fault.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace sdd::fault {
+namespace {
+
+struct State {
+  FaultConfig config;
+  std::atomic<bool> armed{false};
+  std::atomic<std::int64_t> train_steps{0};
+  std::atomic<std::int64_t> io_commits{0};
+  std::mutex rng_mutex;
+  Rng rng{0};
+};
+
+State& state() {
+  static State s;
+  return s;
+}
+
+// SDD_FAULT is read once, on the first hook that fires; configure()/reset()
+// preempt it.
+std::once_flag g_env_once;
+
+void init_from_env() {
+  std::call_once(g_env_once, [] {
+    const char* spec = std::getenv("SDD_FAULT");
+    if (spec == nullptr || *spec == '\0') return;
+    State& s = state();
+    // A programmatic configure() beats the environment.
+    if (s.armed.load(std::memory_order_acquire)) return;
+    try {
+      const FaultConfig config = parse_fault_spec(spec);
+      s.config = config;
+      s.rng.reseed(config.seed);
+      s.armed.store(config.any(), std::memory_order_release);
+      if (config.any()) log_warn("fault: armed from SDD_FAULT=", spec);
+    } catch (const std::invalid_argument& e) {
+      log_error("fault: ignoring malformed SDD_FAULT: ", e.what());
+    }
+  });
+}
+
+[[noreturn]] void crash(const char* where, std::int64_t count) {
+  State& s = state();
+  if (s.config.mode == CrashMode::kThrow) {
+    throw FaultCrash(std::string{"injected crash at "} + where + " #" +
+                     std::to_string(count));
+  }
+  log_error("fault: injected crash at ", where, " #", count, " — _Exit(137)");
+  std::_Exit(137);  // no atexit/flush, like SIGKILL
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    const std::size_t end = text.find(sep, begin);
+    if (end == std::string::npos) {
+      parts.push_back(text.substr(begin));
+      break;
+    }
+    parts.push_back(text.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return parts;
+}
+
+std::int64_t parse_int(const std::string& text, const std::string& directive) {
+  try {
+    std::size_t used = 0;
+    const std::int64_t value = std::stoll(text, &used);
+    if (used != text.size()) throw std::invalid_argument(text);
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("fault: bad integer '" + text + "' in '" +
+                                directive + "'");
+  }
+}
+
+double parse_prob(const std::string& text, const std::string& directive) {
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(text, &used);
+    if (used != text.size() || value < 0.0 || value > 1.0) {
+      throw std::invalid_argument(text);
+    }
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("fault: bad probability '" + text + "' in '" +
+                                directive + "'");
+  }
+}
+
+}  // namespace
+
+FaultConfig parse_fault_spec(const std::string& spec) {
+  FaultConfig config;
+  for (const std::string& directive : split(spec, ',')) {
+    if (directive.empty()) continue;
+    const std::size_t colon = directive.find(':');
+    const std::string name = directive.substr(0, colon);
+    const std::string arg =
+        colon == std::string::npos ? "" : directive.substr(colon + 1);
+    if (name == "io_fail") {
+      // accepts "io_fail:p=0.05" and "io_fail:0.05"
+      const std::string p = arg.rfind("p=", 0) == 0 ? arg.substr(2) : arg;
+      config.io_fail_p = parse_prob(p, directive);
+    } else if (name == "truncate_write") {
+      config.truncate_write = true;
+    } else if (name == "crash_at_step") {
+      config.crash_at_step = parse_int(arg, directive);
+    } else if (name == "crash_at_io") {
+      config.crash_at_io = parse_int(arg, directive);
+    } else if (name == "mode") {
+      if (arg == "exit") {
+        config.mode = CrashMode::kExit;
+      } else if (arg == "throw") {
+        config.mode = CrashMode::kThrow;
+      } else {
+        throw std::invalid_argument("fault: unknown mode '" + arg + "'");
+      }
+    } else if (name == "seed") {
+      config.seed = static_cast<std::uint64_t>(parse_int(arg, directive));
+    } else {
+      throw std::invalid_argument("fault: unknown directive '" + directive + "'");
+    }
+  }
+  return config;
+}
+
+void configure(const FaultConfig& config) {
+  State& s = state();
+  s.config = config;
+  s.train_steps.store(0, std::memory_order_relaxed);
+  s.io_commits.store(0, std::memory_order_relaxed);
+  {
+    const std::lock_guard<std::mutex> lock{s.rng_mutex};
+    s.rng.reseed(config.seed);
+  }
+  s.armed.store(config.any(), std::memory_order_release);
+}
+
+void reset() { configure(FaultConfig{}); }
+
+bool enabled() {
+  init_from_env();
+  return state().armed.load(std::memory_order_acquire);
+}
+
+void on_train_step() {
+  if (!enabled()) return;
+  State& s = state();
+  const std::int64_t step = s.train_steps.fetch_add(1, std::memory_order_relaxed);
+  if (s.config.crash_at_step >= 0 && step == s.config.crash_at_step) {
+    crash("train_step", step);
+  }
+}
+
+bool should_fail_io(const std::filesystem::path& path) {
+  if (!enabled()) return false;
+  State& s = state();
+  if (s.config.io_fail_p <= 0.0) return false;
+  bool fail;
+  {
+    const std::lock_guard<std::mutex> lock{s.rng_mutex};
+    fail = s.rng.bernoulli(s.config.io_fail_p);
+  }
+  if (fail) log_warn("fault: injected io failure for ", path.string());
+  return fail;
+}
+
+bool should_truncate_write(const std::filesystem::path& path) {
+  if (!enabled()) return false;
+  State& s = state();
+  if (!s.config.truncate_write) return false;
+  log_warn("fault: tearing write of ", path.string());
+  return true;
+}
+
+void on_io_commit(const std::filesystem::path& path) {
+  if (!enabled()) return;
+  State& s = state();
+  const std::int64_t commit = s.io_commits.fetch_add(1, std::memory_order_relaxed);
+  if (s.config.crash_at_io >= 0 && commit == s.config.crash_at_io) {
+    log_error("fault: crashing during commit of ", path.string());
+    crash("io_commit", commit);
+  }
+}
+
+}  // namespace sdd::fault

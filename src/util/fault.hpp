@@ -1,0 +1,86 @@
+// Fault-injection framework for durability testing.
+//
+// Production code is instrumented with a handful of hook points (artifact
+// commits, training steps). Faults are armed either programmatically
+// (tests) or through the SDD_FAULT environment variable (soak scripts):
+//
+//   SDD_FAULT="io_fail:p=0.05"      every artifact commit fails (throws
+//                                   SerializeError) with probability p
+//   SDD_FAULT="truncate_write"      artifact commits tear: half the bytes
+//                                   land at the final path, no rename
+//   SDD_FAULT="crash_at_step:N"     die at the Nth training step (process-
+//                                   global counter across all loops)
+//   SDD_FAULT="crash_at_io:N"       die during the Nth artifact commit,
+//                                   after the temp file is durable but
+//                                   before the rename
+//   SDD_FAULT="mode:throw"          crash by throwing FaultCrash instead of
+//                                   _Exit(137) (for in-process tests)
+//   SDD_FAULT="seed:N"              seed for the io_fail coin
+//
+// Directives combine with commas: "io_fail:p=0.5,seed:7,mode:throw".
+// With nothing armed every hook is a cheap branch on an atomic flag.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+
+namespace sdd::fault {
+
+// Thrown by crash points when mode is kThrow; simulates an abrupt process
+// death inside a single test process. Deliberately NOT derived from
+// SerializeError: recovery code must not swallow it.
+class FaultCrash : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+enum class CrashMode { kExit, kThrow };
+
+struct FaultConfig {
+  double io_fail_p = 0.0;           // probability an artifact commit fails
+  bool truncate_write = false;      // tear artifact commits
+  std::int64_t crash_at_step = -1;  // die at this training step (-1 = never)
+  std::int64_t crash_at_io = -1;    // die at this artifact commit (-1 = never)
+  CrashMode mode = CrashMode::kExit;
+  std::uint64_t seed = 0x5DDFA017ULL;
+
+  bool any() const {
+    return io_fail_p > 0.0 || truncate_write || crash_at_step >= 0 ||
+           crash_at_io >= 0;
+  }
+};
+
+// Parses an SDD_FAULT-style spec; throws std::invalid_argument on malformed
+// directives. Exposed for tests.
+FaultConfig parse_fault_spec(const std::string& spec);
+
+// Arm faults programmatically (overrides any SDD_FAULT value) and reset all
+// event counters. Tests should pair this with reset().
+void configure(const FaultConfig& config);
+
+// Disarm all faults and reset counters.
+void reset();
+
+// True when any fault is armed (after lazy SDD_FAULT initialization).
+bool enabled();
+
+// ---- hook points ----------------------------------------------------------
+
+// Called by training loops once per completed optimizer step, after any
+// checkpoint write for that step. Handles crash_at_step.
+void on_train_step();
+
+// Called at the start of an artifact commit. Returns true when the commit
+// must fail; the caller throws SerializeError.
+bool should_fail_io(const std::filesystem::path& path);
+
+// Returns true when the caller must simulate a torn, non-atomic write.
+bool should_truncate_write(const std::filesystem::path& path);
+
+// Called mid-commit, after the temp file is durable but before the rename.
+// Handles crash_at_io.
+void on_io_commit(const std::filesystem::path& path);
+
+}  // namespace sdd::fault

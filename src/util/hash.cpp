@@ -1,8 +1,45 @@
 #include "util/hash.hpp"
 
 #include <array>
+#include <cstring>
 
 namespace sdd {
+namespace {
+
+constexpr std::uint64_t kXxhPrime1 = 0x9E3779B185EBCA87ULL;
+constexpr std::uint64_t kXxhPrime2 = 0xC2B2AE3D27D4EB4FULL;
+constexpr std::uint64_t kXxhPrime3 = 0x165667B19E3779F9ULL;
+constexpr std::uint64_t kXxhPrime4 = 0x85EBCA77C2B2AE63ULL;
+constexpr std::uint64_t kXxhPrime5 = 0x27D4EB2F165667C5ULL;
+
+constexpr std::uint64_t rotl64(std::uint64_t x, int r) noexcept {
+  return (x << r) | (x >> (64 - r));
+}
+
+std::uint64_t read_u64le(const std::byte* p) noexcept {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+std::uint32_t read_u32le(const std::byte* p) noexcept {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+constexpr std::uint64_t xxh_round(std::uint64_t acc, std::uint64_t input) noexcept {
+  acc += input * kXxhPrime2;
+  acc = rotl64(acc, 31);
+  return acc * kXxhPrime1;
+}
+
+constexpr std::uint64_t xxh_merge_round(std::uint64_t acc, std::uint64_t val) noexcept {
+  acc ^= xxh_round(0, val);
+  return acc * kXxhPrime1 + kXxhPrime4;
+}
+
+}  // namespace
 
 std::string hash_hex(std::uint64_t hash) {
   static constexpr char kDigits[] = "0123456789abcdef";
@@ -12,6 +49,59 @@ std::string hash_hex(std::uint64_t hash) {
     hash >>= 4;
   }
   return std::string{buffer.data(), buffer.size()};
+}
+
+std::uint64_t xxh64(std::span<const std::byte> bytes, std::uint64_t seed) noexcept {
+  const std::byte* p = bytes.data();
+  const std::byte* const end = p + bytes.size();
+  std::uint64_t h;
+
+  if (bytes.size() >= 32) {
+    std::uint64_t v1 = seed + kXxhPrime1 + kXxhPrime2;
+    std::uint64_t v2 = seed + kXxhPrime2;
+    std::uint64_t v3 = seed;
+    std::uint64_t v4 = seed - kXxhPrime1;
+    const std::byte* const limit = end - 32;
+    do {
+      v1 = xxh_round(v1, read_u64le(p));
+      v2 = xxh_round(v2, read_u64le(p + 8));
+      v3 = xxh_round(v3, read_u64le(p + 16));
+      v4 = xxh_round(v4, read_u64le(p + 24));
+      p += 32;
+    } while (p <= limit);
+    h = rotl64(v1, 1) + rotl64(v2, 7) + rotl64(v3, 12) + rotl64(v4, 18);
+    h = xxh_merge_round(h, v1);
+    h = xxh_merge_round(h, v2);
+    h = xxh_merge_round(h, v3);
+    h = xxh_merge_round(h, v4);
+  } else {
+    h = seed + kXxhPrime5;
+  }
+
+  h += static_cast<std::uint64_t>(bytes.size());
+
+  while (p + 8 <= end) {
+    h ^= xxh_round(0, read_u64le(p));
+    h = rotl64(h, 27) * kXxhPrime1 + kXxhPrime4;
+    p += 8;
+  }
+  if (p + 4 <= end) {
+    h ^= static_cast<std::uint64_t>(read_u32le(p)) * kXxhPrime1;
+    h = rotl64(h, 23) * kXxhPrime2 + kXxhPrime3;
+    p += 4;
+  }
+  while (p < end) {
+    h ^= static_cast<std::uint64_t>(*p) * kXxhPrime5;
+    h = rotl64(h, 11) * kXxhPrime1;
+    ++p;
+  }
+
+  h ^= h >> 33;
+  h *= kXxhPrime2;
+  h ^= h >> 29;
+  h *= kXxhPrime3;
+  h ^= h >> 32;
+  return h;
 }
 
 }  // namespace sdd

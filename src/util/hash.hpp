@@ -50,4 +50,15 @@ std::uint64_t fnv1a_value(const T& value, std::uint64_t seed = kFnvOffset) noexc
 // Short hex string form for file names.
 std::string hash_hex(std::uint64_t hash);
 
+// XXH64 (Collet) one-shot hash. Used as the content checksum in serialized
+// artifact footers: unlike FNV-1a it diffuses single-bit flips across the
+// whole word, so torn writes and media corruption are detected reliably.
+std::uint64_t xxh64(std::span<const std::byte> bytes, std::uint64_t seed = 0) noexcept;
+
+inline std::uint64_t xxh64(std::string_view bytes, std::uint64_t seed = 0) noexcept {
+  return xxh64(std::span<const std::byte>{
+                   reinterpret_cast<const std::byte*>(bytes.data()), bytes.size()},
+               seed);
+}
+
 }  // namespace sdd

@@ -19,6 +19,22 @@ void set_log_level(LogLevel level) noexcept;
 
 void log_message(LogLevel level, std::string_view message);
 
+// RAII override of the global threshold; restores the previous level on scope
+// exit. Tests use this to silence warnings from intentionally-corrupted
+// artifacts, and the soak runner to keep fault chatter out of its reports.
+class ScopedLogLevel {
+ public:
+  explicit ScopedLogLevel(LogLevel level) : previous_{log_level()} {
+    set_log_level(level);
+  }
+  ~ScopedLogLevel() { set_log_level(previous_); }
+  ScopedLogLevel(const ScopedLogLevel&) = delete;
+  ScopedLogLevel& operator=(const ScopedLogLevel&) = delete;
+
+ private:
+  LogLevel previous_;
+};
+
 namespace detail {
 template <typename... Args>
 void log_fmt(LogLevel level, const Args&... args) {

@@ -31,12 +31,34 @@ class Rng {
  public:
   using result_type = std::uint64_t;
 
+  // Full generator state, exposed so training checkpoints can capture and
+  // restore the stream position exactly (bit-identical resume).
+  struct State {
+    std::uint64_t words[4]{};
+    double cached_gaussian = 0.0;
+    bool cached_gaussian_valid = false;
+  };
+
   explicit Rng(std::uint64_t seed = 0x5DDD5EEDULL) noexcept { reseed(seed); }
 
   void reseed(std::uint64_t seed) noexcept {
     std::uint64_t sm = seed;
     for (auto& word : state_) word = splitmix64(sm);
     cached_gaussian_valid_ = false;
+  }
+
+  [[nodiscard]] State state() const noexcept {
+    State s;
+    for (int i = 0; i < 4; ++i) s.words[i] = state_[i];
+    s.cached_gaussian = cached_gaussian_;
+    s.cached_gaussian_valid = cached_gaussian_valid_;
+    return s;
+  }
+
+  void set_state(const State& s) noexcept {
+    for (int i = 0; i < 4; ++i) state_[i] = s.words[i];
+    cached_gaussian_ = s.cached_gaussian;
+    cached_gaussian_valid_ = s.cached_gaussian_valid;
   }
 
   // Derive an independent child generator; `stream` distinguishes siblings.

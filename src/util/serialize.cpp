@@ -1,44 +1,213 @@
 #include "util/serialize.hpp"
 
-namespace sdd {
+#include <fcntl.h>
+#include <unistd.h>
 
-BinaryWriter::BinaryWriter(const std::filesystem::path& path)
-    : out_{path, std::ios::binary | std::ios::trunc}, path_{path} {
-  if (!out_) throw SerializeError("cannot open for writing: " + path.string());
+#include <cerrno>
+#include <cstring>
+#include <exception>
+#include <fstream>
+
+#include "util/fault.hpp"
+#include "util/hash.hpp"
+#include "util/log.hpp"
+
+namespace sdd {
+namespace detail {
+
+namespace {
+
+class Fd {
+ public:
+  explicit Fd(int fd) : fd_{fd} {}
+  ~Fd() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  int get() const { return fd_; }
+  // Returns the close() result; the descriptor is released either way.
+  int close_now() {
+    const int rc = ::close(fd_);
+    fd_ = -1;
+    return rc;
+  }
+
+ private:
+  int fd_;
+};
+
+[[noreturn]] void throw_errno(const std::string& what,
+                              const std::filesystem::path& path) {
+  throw SerializeError(what + " " + path.string() + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+void write_file_durable(const std::filesystem::path& path,
+                        std::span<const std::byte> bytes, bool sync) {
+  Fd fd{::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644)};
+  if (fd.get() < 0) throw_errno("cannot open for writing", path);
+  const std::byte* p = bytes.data();
+  std::size_t left = bytes.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd.get(), p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("write failure on", path);
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  if (sync && ::fsync(fd.get()) != 0) throw_errno("fsync failure on", path);
+  if (fd.close_now() != 0) throw_errno("close failure on", path);
+}
+
+void fsync_parent_dir(const std::filesystem::path& path) {
+  const std::filesystem::path parent =
+      path.has_parent_path() ? path.parent_path() : std::filesystem::path{"."};
+  const Fd fd{::open(parent.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC)};
+  if (fd.get() < 0) return;
+  ::fsync(fd.get());  // best effort: some filesystems reject directory fsync
+}
+
+}  // namespace detail
+
+void atomic_write_text(const std::filesystem::path& path, std::string_view text) {
+  if (fault::should_fail_io(path)) {
+    throw SerializeError("injected io failure writing " + path.string());
+  }
+  const std::filesystem::path tmp{path.string() + ".tmp"};
+  detail::write_file_durable(
+      tmp,
+      {reinterpret_cast<const std::byte*>(text.data()), text.size()},
+      /*sync=*/true);
+  fault::on_io_commit(path);
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    throw SerializeError("rename failure publishing " + path.string() + ": " +
+                         ec.message());
+  }
+  detail::fsync_parent_dir(path);
+}
+
+void quarantine_artifact(const std::filesystem::path& path) noexcept {
+  std::error_code ec;
+  std::filesystem::rename(path, std::filesystem::path{path.string() + ".corrupt"},
+                          ec);
+  if (ec) std::filesystem::remove(path, ec);
+}
+
+BinaryWriter::BinaryWriter(std::filesystem::path path)
+    : path_{std::move(path)}, uncaught_at_ctor_{std::uncaught_exceptions()} {}
+
+BinaryWriter::~BinaryWriter() {
+  // Commit on scope exit for convenience, but never while unwinding from an
+  // exception: a half-serialized artifact must not be published.
+  if (committed_ || std::uncaught_exceptions() > uncaught_at_ctor_) return;
+  try {
+    flush();
+  } catch (const std::exception& e) {
+    log_error("serialize: commit of ", path_.string(),
+              " failed in destructor: ", e.what());
+  }
 }
 
 void BinaryWriter::write_magic(std::string_view magic, std::uint32_t version) {
-  out_.write(magic.data(), static_cast<std::streamsize>(magic.size()));
+  append(magic.data(), magic.size());
   write_u32(version);
-  check("write_magic");
 }
 
 void BinaryWriter::write_string(std::string_view s) {
   write_u64(s.size());
-  out_.write(s.data(), static_cast<std::streamsize>(s.size()));
-  check("write_string");
+  append(s.data(), s.size());
+}
+
+void BinaryWriter::append(const void* data, std::size_t size) {
+  if (committed_) {
+    throw SerializeError("write after flush() on " + path_.string());
+  }
+  buffer_.append(static_cast<const char*>(data), size);
 }
 
 void BinaryWriter::flush() {
-  out_.flush();
-  check("flush");
-}
+  if (committed_) return;
+  committed_ = true;
 
-void BinaryWriter::check(const char* what) {
-  if (!out_) {
-    throw SerializeError(std::string{"write failure ("} + what + ") on " + path_.string());
+  if (fault::should_fail_io(path_)) {
+    throw SerializeError("injected io failure writing " + path_.string());
   }
+
+  const std::uint64_t checksum = xxh64(std::string_view{buffer_});
+  const std::uint64_t payload_size = buffer_.size();
+  std::string blob = std::move(buffer_);
+  blob.append(kArtifactFooterMagic);
+  blob.append(reinterpret_cast<const char*>(&payload_size), sizeof(payload_size));
+  blob.append(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+
+  const auto as_bytes = [](const std::string& s, std::size_t n) {
+    return std::span<const std::byte>{
+        reinterpret_cast<const std::byte*>(s.data()), n};
+  };
+
+  if (fault::should_truncate_write(path_)) {
+    // Simulate the torn write of a non-atomic store: half the blob lands
+    // directly at the final path. Readers must detect this via the footer.
+    detail::write_file_durable(path_, as_bytes(blob, blob.size() / 2),
+                               /*sync=*/false);
+    fault::on_io_commit(path_);
+    return;
+  }
+
+  const std::filesystem::path tmp{path_.string() + ".tmp"};
+  detail::write_file_durable(tmp, as_bytes(blob, blob.size()), /*sync=*/true);
+  fault::on_io_commit(path_);
+  std::error_code ec;
+  std::filesystem::rename(tmp, path_, ec);
+  if (ec) {
+    throw SerializeError("rename failure publishing " + path_.string() + ": " +
+                         ec.message());
+  }
+  detail::fsync_parent_dir(path_);
 }
 
-BinaryReader::BinaryReader(const std::filesystem::path& path)
-    : in_{path, std::ios::binary}, path_{path} {
-  if (!in_) throw SerializeError("cannot open for reading: " + path.string());
+BinaryReader::BinaryReader(const std::filesystem::path& path) : path_{path} {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) throw SerializeError("cannot open for reading: " + path.string());
+  std::string blob{std::istreambuf_iterator<char>{in},
+                   std::istreambuf_iterator<char>{}};
+  if (in.bad()) throw SerializeError("read failure on " + path.string());
+
+  if (blob.size() < kArtifactFooterSize) {
+    throw SerializeError("truncated artifact (no footer): " + path.string());
+  }
+  const std::size_t footer = blob.size() - kArtifactFooterSize;
+  if (std::string_view{blob}.substr(footer, kArtifactFooterMagic.size()) !=
+      kArtifactFooterMagic) {
+    throw SerializeError("missing checksum footer in " + path.string());
+  }
+  std::uint64_t payload_size = 0;
+  std::uint64_t checksum = 0;
+  std::memcpy(&payload_size, blob.data() + footer + kArtifactFooterMagic.size(),
+              sizeof(payload_size));
+  std::memcpy(&checksum,
+              blob.data() + footer + kArtifactFooterMagic.size() +
+                  sizeof(payload_size),
+              sizeof(checksum));
+  if (payload_size != footer) {
+    throw SerializeError("truncated artifact (size mismatch): " + path.string());
+  }
+  blob.resize(footer);
+  if (xxh64(std::string_view{blob}) != checksum) {
+    throw SerializeError("checksum mismatch in " + path.string());
+  }
+  payload_ = std::move(blob);
 }
 
 void BinaryReader::expect_magic(std::string_view magic, std::uint32_t version) {
   std::string found(magic.size(), '\0');
-  in_.read(found.data(), static_cast<std::streamsize>(magic.size()));
-  check("expect_magic");
+  extract(found.data(), found.size(), "expect_magic");
   if (found != magic) {
     throw SerializeError("bad magic in " + path_.string() + ": expected '" +
                          std::string{magic} + "', found '" + found + "'");
@@ -53,17 +222,22 @@ void BinaryReader::expect_magic(std::string_view magic, std::uint32_t version) {
 
 std::string BinaryReader::read_string() {
   const std::uint64_t size = read_u64();
-  if (size > (1ULL << 30)) throw SerializeError("read_string: absurd size, corrupt file");
+  if (size > remaining()) {
+    throw SerializeError("read_string: length " + std::to_string(size) +
+                         " exceeds payload in " + path_.string());
+  }
   std::string s(size, '\0');
-  in_.read(s.data(), static_cast<std::streamsize>(size));
-  check("read_string");
+  extract(s.data(), size, "read_string");
   return s;
 }
 
-void BinaryReader::check(const char* what) {
-  if (!in_) {
-    throw SerializeError(std::string{"read failure ("} + what + ") on " + path_.string());
+void BinaryReader::extract(void* out, std::size_t size, const char* what) {
+  if (size > remaining()) {
+    throw SerializeError(std::string{"unexpected end of payload ("} + what +
+                         ") in " + path_.string());
   }
+  std::memcpy(out, payload_.data() + pos_, size);
+  pos_ += size;
 }
 
 }  // namespace sdd

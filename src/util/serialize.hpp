@@ -1,13 +1,22 @@
-// Versioned binary serialization for model checkpoints and cached artifacts.
+// Versioned, checksummed, crash-safe binary serialization for model
+// checkpoints and cached artifacts.
 //
 // The format is deliberately simple: little-endian POD fields, length-prefixed
 // strings and vectors, and a magic/version header per artifact kind so stale
-// cache files are rejected instead of misread.
+// cache files are rejected instead of misread. Every file additionally ends
+// with a 24-byte footer — footer magic, payload size, and an XXH64 content
+// checksum — so truncated or bit-flipped files are detected at open time.
+//
+// Durability: BinaryWriter buffers the payload in memory and publishes it
+// atomically on flush(): write to `<path>.tmp`, fsync, rename over the final
+// path, fsync the parent directory. A crash at any point leaves either the
+// old artifact or no artifact — never a torn one. Commits are also fault-
+// injection points (see util/fault.hpp).
 #pragma once
 
 #include <cstdint>
 #include <filesystem>
-#include <fstream>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -21,17 +30,45 @@ class SerializeError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+// Footer layout (appended after the payload): 8-byte magic, u64 payload
+// size, u64 XXH64(payload).
+inline constexpr std::string_view kArtifactFooterMagic = "SDDCKSM1";
+inline constexpr std::size_t kArtifactFooterSize = 24;
+
+namespace detail {
+// Writes `bytes` to `path` (O_TRUNC) and optionally fsyncs before closing.
+// Throws SerializeError on any failure.
+void write_file_durable(const std::filesystem::path& path,
+                        std::span<const std::byte> bytes, bool sync);
+// Best-effort fsync of the directory containing `path` (makes a rename
+// durable); ignored on filesystems that reject directory fsync.
+void fsync_parent_dir(const std::filesystem::path& path);
+}  // namespace detail
+
+// Atomically publishes `text` at `path` (tmp + fsync + rename). Used for the
+// small human-readable artifacts (metrics) that do not need the binary
+// framing. Honors the same io_fail fault hook as BinaryWriter.
+void atomic_write_text(const std::filesystem::path& path, std::string_view text);
+
+// Moves a corrupt artifact aside to `<path>.corrupt` (falling back to plain
+// removal) so the slot is free for recomputation while the evidence is kept
+// for post-mortems. Best effort; never throws.
+void quarantine_artifact(const std::filesystem::path& path) noexcept;
+
 class BinaryWriter {
  public:
-  explicit BinaryWriter(const std::filesystem::path& path);
+  explicit BinaryWriter(std::filesystem::path path);
+  ~BinaryWriter();
+
+  BinaryWriter(const BinaryWriter&) = delete;
+  BinaryWriter& operator=(const BinaryWriter&) = delete;
 
   void write_magic(std::string_view magic, std::uint32_t version);
 
   template <typename T>
   void write_pod(const T& value) {
     static_assert(std::is_trivially_copyable_v<T>);
-    out_.write(reinterpret_cast<const char*>(&value), sizeof(T));
-    check("write_pod");
+    append(&value, sizeof(T));
   }
 
   void write_u32(std::uint32_t v) { write_pod(v); }
@@ -47,24 +84,27 @@ class BinaryWriter {
   void write_vector(const std::vector<T>& values) {
     static_assert(std::is_trivially_copyable_v<T>);
     write_u64(values.size());
-    if (!values.empty()) {
-      out_.write(reinterpret_cast<const char*>(values.data()),
-                 static_cast<std::streamsize>(values.size() * sizeof(T)));
-    }
-    check("write_vector");
+    if (!values.empty()) append(values.data(), values.size() * sizeof(T));
   }
 
+  // Appends the checksum footer and atomically publishes the artifact.
+  // Idempotent; also invoked by the destructor if never called explicitly.
   void flush();
 
  private:
-  void check(const char* what);
+  void append(const void* data, std::size_t size);
 
-  std::ofstream out_;
   std::filesystem::path path_;
+  std::string buffer_;
+  bool committed_ = false;
+  int uncaught_at_ctor_ = 0;
 };
 
 class BinaryReader {
  public:
+  // Reads the whole file, verifies the footer checksum, and serves reads
+  // from memory with bounds checking. Throws SerializeError when the file is
+  // missing, truncated, or fails the checksum.
   explicit BinaryReader(const std::filesystem::path& path);
 
   // Throws SerializeError if the magic or version does not match.
@@ -74,8 +114,7 @@ class BinaryReader {
   T read_pod() {
     static_assert(std::is_trivially_copyable_v<T>);
     T value{};
-    in_.read(reinterpret_cast<char*>(&value), sizeof(T));
-    check("read_pod");
+    extract(&value, sizeof(T), "read_pod");
     return value;
   }
 
@@ -92,21 +131,26 @@ class BinaryReader {
   std::vector<T> read_vector() {
     static_assert(std::is_trivially_copyable_v<T>);
     const std::uint64_t size = read_u64();
-    if (size > (1ULL << 33)) throw SerializeError("read_vector: absurd size, corrupt file");
-    std::vector<T> values(size);
-    if (size > 0) {
-      in_.read(reinterpret_cast<char*>(values.data()),
-               static_cast<std::streamsize>(size * sizeof(T)));
+    // An element count that exceeds the bytes left in the payload is a
+    // corrupt or hostile header; reject it before allocating.
+    if (size > remaining() / sizeof(T)) {
+      throw SerializeError("read_vector: length " + std::to_string(size) +
+                           " exceeds payload in " + path_.string());
     }
-    check("read_vector");
+    std::vector<T> values(size);
+    if (size > 0) extract(values.data(), size * sizeof(T), "read_vector");
     return values;
   }
 
- private:
-  void check(const char* what);
+  // Payload bytes not yet consumed.
+  std::size_t remaining() const { return payload_.size() - pos_; }
 
-  std::ifstream in_;
+ private:
+  void extract(void* out, std::size_t size, const char* what);
+
   std::filesystem::path path_;
+  std::string payload_;
+  std::size_t pos_ = 0;
 };
 
 }  // namespace sdd
