@@ -60,6 +60,22 @@ void BM_GemmNn(benchmark::State& state) {
 }
 BENCHMARK(BM_GemmNn)->Arg(64)->Arg(128)->Arg(256);
 
+void BM_GemmTn(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng{1};
+  std::vector<float> a(static_cast<std::size_t>(n * n));
+  std::vector<float> b(static_cast<std::size_t>(n * n));
+  std::vector<float> c(static_cast<std::size_t>(n * n));
+  for (auto& x : a) x = rng.gaussian_float(0, 1);
+  for (auto& x : b) x = rng.gaussian_float(0, 1);
+  for (auto _ : state) {
+    kernels::gemm_tn(a.data(), b.data(), c.data(), n, n, n, false);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmTn)->Arg(64)->Arg(128)->Arg(256);
+
 void BM_AttentionForward(benchmark::State& state) {
   const std::int64_t batch = 8, seq = state.range(0), channels = 64;
   Rng rng{2};

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Run the substrate microbenchmarks and write a machine-readable baseline.
+#
+# Usage: scripts/bench_baseline.sh [build-dir] [output.json]
+#
+# The JSON output is the input to scripts/bench_compare.py, which diffs a
+# fresh run against the committed baseline (BENCH_substrate.json at the repo
+# root) and flags regressions beyond a tolerance band.
+#
+# Environment:
+#   SDD_BENCH_FILTER    benchmark name regex (default: everything)
+#   SDD_BENCH_MIN_TIME  per-benchmark min measurement time in seconds
+#                       (default 0.5; CI smoke uses a smaller value)
+set -euo pipefail
+
+BUILD="${1:-build}"
+OUT="${2:-BENCH_substrate.json}"
+BENCH="${BUILD}/bench/micro_substrate"
+if [[ ! -x "${BENCH}" ]]; then
+  echo "bench_baseline: ${BENCH} not found; build it first:" >&2
+  echo "  cmake -B ${BUILD} -S . -DCMAKE_BUILD_TYPE=Release && cmake --build ${BUILD} -j --target micro_substrate" >&2
+  exit 2
+fi
+
+FILTER="${SDD_BENCH_FILTER:-}"
+MIN_TIME="${SDD_BENCH_MIN_TIME:-0.5}"
+
+ARGS=(
+  "--benchmark_out=${OUT}"
+  "--benchmark_out_format=json"
+  "--benchmark_min_time=${MIN_TIME}"
+)
+if [[ -n "${FILTER}" ]]; then
+  ARGS+=("--benchmark_filter=${FILTER}")
+fi
+
+echo "bench_baseline: running ${BENCH} -> ${OUT} (min_time=${MIN_TIME}s)" >&2
+"${BENCH}" "${ARGS[@]}"
+echo "bench_baseline: wrote ${OUT}" >&2

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Compare a fresh micro_substrate run against a committed baseline.
+
+Usage:
+    scripts/bench_compare.py BASELINE.json CURRENT.json [options]
+
+Benchmarks are matched by name. For each pair the primary metric is
+items_per_second (effective throughput); benchmarks that don't report it fall
+back to real_time (lower is better). A benchmark is flagged when it is more
+than --tolerance (default 15%) WORSE than the baseline; improvements are
+reported but never flagged.
+
+Exit status: 0 when no benchmark regressed beyond tolerance (or --mode=warn),
+1 when at least one did and --mode=fail.
+
+CI runs with --mode=warn because hosted runners have wildly different
+single-core throughput than the machine that produced the committed baseline;
+the committed numbers are authoritative only on comparable hardware. Use
+--mode=fail locally when validating a kernel change on the same machine that
+produced the baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+# The kernels the perf-regression gate actually cares about. Model-level
+# benches (forward, decode, train step) ride along for visibility but move
+# with allocator and cache noise, so --key-only restricts flagging to these.
+KEY_PREFIXES = ("BM_GemmNn", "BM_GemmNt", "BM_GemmTn")
+
+
+def load_benchmarks(path: str) -> dict[str, dict]:
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    out: dict[str, dict] = {}
+    for bench in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev) from --benchmark_repetitions.
+        if bench.get("run_type") == "aggregate":
+            continue
+        out[bench["name"]] = bench
+    return out
+
+
+def metric(bench: dict) -> tuple[str, float, bool]:
+    """Return (metric-name, value, higher_is_better)."""
+    if "items_per_second" in bench:
+        return "items_per_second", float(bench["items_per_second"]), True
+    return "real_time", float(bench["real_time"]), False
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("current", help="fresh benchmark JSON")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.15,
+        help="fractional slowdown allowed before flagging (default 0.15)",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=("warn", "fail"),
+        default="fail",
+        help="'fail' exits 1 on regression; 'warn' always exits 0",
+    )
+    parser.add_argument(
+        "--key-only",
+        action="store_true",
+        help=f"only flag the key kernels ({', '.join(KEY_PREFIXES)})",
+    )
+    args = parser.parse_args()
+
+    baseline = load_benchmarks(args.baseline)
+    current = load_benchmarks(args.current)
+    if not baseline:
+        print(f"bench_compare: no benchmarks in {args.baseline}", file=sys.stderr)
+        return 1
+    if not current:
+        print(f"bench_compare: no benchmarks in {args.current}", file=sys.stderr)
+        return 1
+
+    regressions: list[str] = []
+    compared = 0
+    print(f"{'benchmark':<34} {'baseline':>14} {'current':>14} {'delta':>8}")
+    for name in sorted(baseline):
+        if name not in current:
+            print(f"{name:<34} {'(missing in current run)':>38}")
+            continue
+        metric_name, base_value, higher_better = metric(baseline[name])
+        cur_metric_name, cur_value, _ = metric(current[name])
+        if metric_name != cur_metric_name or base_value == 0:
+            print(f"{name:<34} {'(metric mismatch)':>38}")
+            continue
+        compared += 1
+        # Normalize so ratio > 1 always means "got faster".
+        ratio = cur_value / base_value if higher_better else base_value / cur_value
+        delta_pct = (ratio - 1.0) * 100.0
+        flagged = ratio < 1.0 - args.tolerance
+        if flagged and args.key_only and not name.startswith(KEY_PREFIXES):
+            flagged = False
+        marker = "  << REGRESSION" if flagged else ""
+        print(
+            f"{name:<34} {base_value:>14.4g} {cur_value:>14.4g} {delta_pct:>+7.1f}%{marker}"
+        )
+        if flagged:
+            regressions.append(name)
+
+    if compared == 0:
+        print("bench_compare: no comparable benchmarks found", file=sys.stderr)
+        return 1
+    if regressions:
+        print(
+            f"\nbench_compare: {len(regressions)} benchmark(s) regressed "
+            f">{args.tolerance * 100:.0f}%: {', '.join(regressions)}",
+            file=sys.stderr,
+        )
+        return 1 if args.mode == "fail" else 0
+    print(f"\nbench_compare: {compared} benchmark(s) within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

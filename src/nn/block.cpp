@@ -69,14 +69,19 @@ void CausalSelfAttention::step(const float* x, float* out, LayerKVCache& cache,
     throw std::logic_error("attention step: position does not match cache length");
   }
 
+  if (!cache.rope || cache.rope->positions() <= pos ||
+      cache.rope->head_dim() != head_dim) {
+    cache.rope = kernels::RopeTable::get(head_dim, rope_base_, pos + 1);
+  }
+
   std::vector<float> q(static_cast<std::size_t>(channels));
   float* k_slot = cache.keys.data() + pos * channels;
   float* v_slot = cache.values.data() + pos * channels;
   wq_.apply(x, q.data(), 1);
   wk_.apply(x, k_slot, 1);
   wv_.apply(x, v_slot, 1);
-  kernels::rope_apply(q.data(), n_heads_, head_dim, pos, rope_base_, 1.0F);
-  kernels::rope_apply(k_slot, n_heads_, head_dim, pos, rope_base_, 1.0F);
+  cache.rope->apply(q.data(), n_heads_, pos, 1.0F);
+  cache.rope->apply(k_slot, n_heads_, pos, 1.0F);
   cache.length = pos + 1;
 
   std::vector<float> mixed(static_cast<std::size_t>(channels), 0.0F);

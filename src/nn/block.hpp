@@ -3,22 +3,27 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "nn/config.hpp"
 #include "nn/linear.hpp"
 #include "nn/module.hpp"
+#include "tensor/rope_cache.hpp"
 #include "tensor/tensor.hpp"
 #include "util/rng.hpp"
 
 namespace sdd::nn {
 
 // Per-layer key/value cache for incremental decoding. Keys are stored
-// *post-RoPE* so each step only rotates the new position.
+// *post-RoPE* so each step only rotates the new position. The decode session
+// also pins the precomputed RoPE cos/sin table here (sized to max_seq_len by
+// make_decode_state) so per-token steps never touch the table cache mutex.
 struct LayerKVCache {
   std::vector<float> keys;    // [max_seq, C], rotated
   std::vector<float> values;  // [max_seq, C]
+  std::shared_ptr<const kernels::RopeTable> rope;
   std::int64_t length = 0;
 
   void reset() noexcept { length = 0; }

@@ -72,9 +72,14 @@ TransformerLM::DecodeState TransformerLM::make_decode_state() const {
   state.caches.resize(blocks_.size());
   const auto cache_size =
       static_cast<std::size_t>(config_.max_seq_len * config_.d_model);
+  // Pin the RoPE table for the whole session up front so per-token decode
+  // steps never hit the table-cache mutex or trigger a rebuild.
+  const auto rope = kernels::RopeTable::get(
+      config_.d_model / config_.n_heads, config_.rope_base, config_.max_seq_len);
   for (LayerKVCache& cache : state.caches) {
     cache.keys.assign(cache_size, 0.0F);
     cache.values.assign(cache_size, 0.0F);
+    cache.rope = rope;
     cache.length = 0;
   }
   return state;

@@ -4,19 +4,364 @@
 #include <cmath>
 #include <cstring>
 
+#if defined(__AVX512F__) || (defined(__AVX2__) && defined(__FMA__))
+#include <immintrin.h>
+#endif
+
+#include "tensor/rope_cache.hpp"
 #include "util/threadpool.hpp"
 
 namespace sdd::kernels {
 namespace {
 
-// Sharding GEMM rows only pays off for reasonably large row counts.
-constexpr std::int64_t kParallelRowThreshold = 64;
+// ---- dispatch policy ------------------------------------------------------
 
-bool should_parallelize(std::int64_t m) {
-  return m >= kParallelRowThreshold && ThreadPool::global().worker_count() > 0;
+// Sharding GEMM rows only pays off when both the row count (enough blocks to
+// hand out) and the total arithmetic (enough work to amortize the fork/join)
+// are large. Skinny matmuls (e.g. d_model=64 single-token decode steps) stay
+// inline regardless of row count.
+constexpr std::int64_t kParallelRowThreshold = 64;
+constexpr std::int64_t kParallelFlopThreshold = std::int64_t{1} << 21;  // 2 MFLOP
+
+// Row-sharded elementwise kernels (softmax, rmsnorm) have no k dimension;
+// gate them on total element count instead.
+constexpr std::int64_t kParallelElemThreshold = std::int64_t{1} << 16;
+
+thread_local DispatchMode t_dispatch_mode = DispatchMode::kAuto;
+thread_local ThreadPool* t_dispatch_pool = nullptr;
+
+bool should_parallelize(std::int64_t rows, std::int64_t flops) {
+  switch (t_dispatch_mode) {
+    case DispatchMode::kForceSerial:
+      return false;
+    case DispatchMode::kForceParallel:
+      return true;
+    case DispatchMode::kAuto:
+      break;
+  }
+  return rows >= kParallelRowThreshold && flops >= kParallelFlopThreshold &&
+         ThreadPool::global().worker_count() > 0;
+}
+
+bool should_parallelize_rows(std::int64_t rows, std::int64_t elems) {
+  switch (t_dispatch_mode) {
+    case DispatchMode::kForceSerial:
+      return false;
+    case DispatchMode::kForceParallel:
+      return true;
+    case DispatchMode::kAuto:
+      break;
+  }
+  return rows >= kParallelRowThreshold && elems >= kParallelElemThreshold &&
+         ThreadPool::global().worker_count() > 0;
+}
+
+// Run job(i) for i in [0, jobs), sharded over the pool when `parallel`.
+// Jobs own disjoint output rows, so there are no write races and the result
+// is independent of how the range is chunked.
+template <typename Job>
+void run_jobs(std::int64_t jobs, bool parallel, const Job& job) {
+  if (parallel) {
+    ThreadPool& pool =
+        t_dispatch_pool != nullptr ? *t_dispatch_pool : ThreadPool::global();
+    pool.parallel_for(0, static_cast<std::size_t>(jobs), job);
+  } else {
+    for (std::int64_t i = 0; i < jobs; ++i) job(static_cast<std::size_t>(i));
+  }
+}
+
+// ---- micro-kernel geometry ------------------------------------------------
+//
+// Output rows are processed in blocks of kMicroRows; within a block, the
+// NN/TN micro-kernel walks k once while holding a kMicroRows x kMicroCols
+// accumulator tile entirely in vector registers (C is touched once per
+// k-tile). k itself is split into kKTile chunks so the streamed B panel
+// stays cache-resident for large k.
+constexpr std::int64_t kMicroRows = 4;
+constexpr std::int64_t kKTile = 512;
+
+#if defined(__AVX512F__)
+constexpr std::int64_t kMicroCols = 32;  // 2 zmm per row
+#else
+constexpr std::int64_t kMicroCols = 16;  // 2 ymm per row (also the portable tile)
+#endif
+
+// A-element accessor shared by the NN (A row-major [m,k]) and TN (A row-major
+// [k,m], read transposed) micro-kernels.
+template <bool TransA>
+inline float a_at(const float* a, std::int64_t lda, std::int64_t i, std::int64_t p) {
+  return TransA ? a[p * lda + i] : a[i * lda + p];
+}
+
+// Generic edge kernel: C[rows, cols] (+)= A-chunk @ B-chunk for any tile
+// shape (row/column tails). Auto-vectorizes over j.
+template <bool TransA>
+void patch_nn(const float* a, std::int64_t lda, const float* b, std::int64_t ldb,
+              float* c, std::int64_t ldc, std::int64_t rows, std::int64_t cols,
+              std::int64_t k, bool accumulate) {
+  for (std::int64_t i = 0; i < rows; ++i) {
+    float* c_row = c + i * ldc;
+    if (!accumulate) {
+      std::memset(c_row, 0, static_cast<std::size_t>(cols) * sizeof(float));
+    }
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float av = a_at<TransA>(a, lda, i, p);
+      const float* b_row = b + p * ldb;
+      for (std::int64_t j = 0; j < cols; ++j) c_row[j] += av * b_row[j];
+    }
+  }
+}
+
+#if defined(__AVX512F__)
+
+// 4 x 32 FMA tile: 8 zmm accumulators, 2 B loads + 4 broadcasts per k step.
+template <bool TransA>
+void micro_nn(const float* a, std::int64_t lda, const float* b, std::int64_t ldb,
+              float* c, std::int64_t ldc, std::int64_t k, bool accumulate) {
+  __m512 acc[kMicroRows][2];
+  if (accumulate) {
+    for (int i = 0; i < kMicroRows; ++i) {
+      acc[i][0] = _mm512_loadu_ps(c + i * ldc);
+      acc[i][1] = _mm512_loadu_ps(c + i * ldc + 16);
+    }
+  } else {
+    for (int i = 0; i < kMicroRows; ++i) {
+      acc[i][0] = _mm512_setzero_ps();
+      acc[i][1] = _mm512_setzero_ps();
+    }
+  }
+  for (std::int64_t p = 0; p < k; ++p) {
+    const __m512 b0 = _mm512_loadu_ps(b + p * ldb);
+    const __m512 b1 = _mm512_loadu_ps(b + p * ldb + 16);
+    for (int i = 0; i < kMicroRows; ++i) {
+      const __m512 av = _mm512_set1_ps(a_at<TransA>(a, lda, i, p));
+      acc[i][0] = _mm512_fmadd_ps(av, b0, acc[i][0]);
+      acc[i][1] = _mm512_fmadd_ps(av, b1, acc[i][1]);
+    }
+  }
+  for (int i = 0; i < kMicroRows; ++i) {
+    _mm512_storeu_ps(c + i * ldc, acc[i][0]);
+    _mm512_storeu_ps(c + i * ldc + 16, acc[i][1]);
+  }
+}
+
+// Fold the row's four zmm dot accumulators into one xmm holding the four
+// sums, via pairwise 256/128-bit folds and a transposing hadd tree (much
+// cheaper than four independent _mm512_reduce_add_ps).
+inline __m128 fold4_dots(__m512 d0, __m512 d1, __m512 d2, __m512 d3) {
+  const auto fold = [](__m512 v) {
+    const __m256 half = _mm256_add_ps(_mm512_castps512_ps256(v),
+                                      _mm512_extractf32x8_ps(v, 1));
+    return _mm_add_ps(_mm256_castps256_ps128(half), _mm256_extractf128_ps(half, 1));
+  };
+  const __m128 s01 = _mm_hadd_ps(fold(d0), fold(d1));
+  const __m128 s23 = _mm_hadd_ps(fold(d2), fold(d3));
+  return _mm_hadd_ps(s01, s23);
+}
+
+// 4 x 4 dot tile vectorized over k: 16 zmm accumulators, one transposing
+// reduction per output row. Scalar tail keeps the k reduction order fixed.
+void micro_nt(const float* a, std::int64_t lda, const float* b, std::int64_t ldb,
+              float* c, std::int64_t ldc, std::int64_t k, bool accumulate) {
+  __m512 acc[4][4];
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) acc[i][j] = _mm512_setzero_ps();
+  }
+  std::int64_t p = 0;
+  for (; p + 16 <= k; p += 16) {
+    __m512 av[4];
+    for (int i = 0; i < 4; ++i) av[i] = _mm512_loadu_ps(a + i * lda + p);
+    for (int j = 0; j < 4; ++j) {
+      const __m512 bv = _mm512_loadu_ps(b + j * ldb + p);
+      for (int i = 0; i < 4; ++i) acc[i][j] = _mm512_fmadd_ps(av[i], bv, acc[i][j]);
+    }
+  }
+  for (int i = 0; i < 4; ++i) {
+    __m128 sums = fold4_dots(acc[i][0], acc[i][1], acc[i][2], acc[i][3]);
+    if (p < k) {
+      alignas(16) float tail[4] = {};
+      for (int j = 0; j < 4; ++j) {
+        for (std::int64_t pp = p; pp < k; ++pp) {
+          tail[j] += a[i * lda + pp] * b[j * ldb + pp];
+        }
+      }
+      sums = _mm_add_ps(sums, _mm_load_ps(tail));
+    }
+    float* out = c + i * ldc;
+    if (accumulate) sums = _mm_add_ps(sums, _mm_loadu_ps(out));
+    _mm_storeu_ps(out, sums);
+  }
+}
+constexpr bool kHasNtMicro = true;
+
+#elif defined(__AVX2__) && defined(__FMA__)
+
+// 4 x 16 FMA tile: 8 ymm accumulators, 2 B loads + 4 broadcasts per k step.
+template <bool TransA>
+void micro_nn(const float* a, std::int64_t lda, const float* b, std::int64_t ldb,
+              float* c, std::int64_t ldc, std::int64_t k, bool accumulate) {
+  __m256 acc[kMicroRows][2];
+  if (accumulate) {
+    for (int i = 0; i < kMicroRows; ++i) {
+      acc[i][0] = _mm256_loadu_ps(c + i * ldc);
+      acc[i][1] = _mm256_loadu_ps(c + i * ldc + 8);
+    }
+  } else {
+    for (int i = 0; i < kMicroRows; ++i) {
+      acc[i][0] = _mm256_setzero_ps();
+      acc[i][1] = _mm256_setzero_ps();
+    }
+  }
+  for (std::int64_t p = 0; p < k; ++p) {
+    const __m256 b0 = _mm256_loadu_ps(b + p * ldb);
+    const __m256 b1 = _mm256_loadu_ps(b + p * ldb + 8);
+    for (int i = 0; i < kMicroRows; ++i) {
+      const __m256 av = _mm256_set1_ps(a_at<TransA>(a, lda, i, p));
+      acc[i][0] = _mm256_fmadd_ps(av, b0, acc[i][0]);
+      acc[i][1] = _mm256_fmadd_ps(av, b1, acc[i][1]);
+    }
+  }
+  for (int i = 0; i < kMicroRows; ++i) {
+    _mm256_storeu_ps(c + i * ldc, acc[i][0]);
+    _mm256_storeu_ps(c + i * ldc + 8, acc[i][1]);
+  }
+}
+
+inline float hsum256(__m256 v) {
+  const __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  __m128 s = _mm_add_ps(lo, hi);
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+  return _mm_cvtss_f32(s);
+}
+
+// 4 x 2 dot tile vectorized over k (8 ymm accumulators + 4 A + 1 B loads
+// stays inside the 16-register ymm file).
+void micro_nt(const float* a, std::int64_t lda, const float* b, std::int64_t ldb,
+              float* c, std::int64_t ldc, std::int64_t k, bool accumulate) {
+  for (int jb = 0; jb < 4; jb += 2) {
+    __m256 acc[4][2];
+    for (int i = 0; i < 4; ++i) {
+      acc[i][0] = _mm256_setzero_ps();
+      acc[i][1] = _mm256_setzero_ps();
+    }
+    std::int64_t p = 0;
+    for (; p + 8 <= k; p += 8) {
+      __m256 av[4];
+      for (int i = 0; i < 4; ++i) av[i] = _mm256_loadu_ps(a + i * lda + p);
+      for (int j = 0; j < 2; ++j) {
+        const __m256 bv = _mm256_loadu_ps(b + (jb + j) * ldb + p);
+        for (int i = 0; i < 4; ++i) acc[i][j] = _mm256_fmadd_ps(av[i], bv, acc[i][j]);
+      }
+    }
+    for (int i = 0; i < 4; ++i) {
+      for (int j = 0; j < 2; ++j) {
+        float s = hsum256(acc[i][j]);
+        for (std::int64_t pp = p; pp < k; ++pp) {
+          s += a[i * lda + pp] * b[(jb + j) * ldb + pp];
+        }
+        float* out = c + i * ldc + jb + j;
+        *out = accumulate ? *out + s : s;
+      }
+    }
+  }
+}
+constexpr bool kHasNtMicro = true;
+
+#else
+
+// Portable register-tiled micro-kernel; the fixed-size accumulator array is
+// scalar-replaced and auto-vectorized by the compiler at -O3.
+template <bool TransA>
+void micro_nn(const float* a, std::int64_t lda, const float* b, std::int64_t ldb,
+              float* c, std::int64_t ldc, std::int64_t k, bool accumulate) {
+  float acc[kMicroRows][kMicroCols];
+  if (accumulate) {
+    for (int i = 0; i < kMicroRows; ++i) {
+      for (int j = 0; j < kMicroCols; ++j) acc[i][j] = c[i * ldc + j];
+    }
+  } else {
+    for (int i = 0; i < kMicroRows; ++i) {
+      for (int j = 0; j < kMicroCols; ++j) acc[i][j] = 0.0F;
+    }
+  }
+  for (std::int64_t p = 0; p < k; ++p) {
+    const float* b_row = b + p * ldb;
+    float av[kMicroRows];
+    for (int i = 0; i < kMicroRows; ++i) av[i] = a_at<TransA>(a, lda, i, p);
+    for (int j = 0; j < kMicroCols; ++j) {
+      const float bv = b_row[j];
+      for (int i = 0; i < kMicroRows; ++i) acc[i][j] += av[i] * bv;
+    }
+  }
+  for (int i = 0; i < kMicroRows; ++i) {
+    for (int j = 0; j < kMicroCols; ++j) c[i * ldc + j] = acc[i][j];
+  }
+}
+
+// No SIMD ISA detected at compile time: gemm_nt keeps the dot-product path.
+void micro_nt(const float*, std::int64_t, const float*, std::int64_t, float*,
+              std::int64_t, std::int64_t, bool) {}
+constexpr bool kHasNtMicro = false;
+
+#endif
+
+// One k-chunk of a <=4-row output block: full-width micro tiles, then the
+// generic patch kernel for the column tail (and for short row blocks).
+template <bool TransA>
+void nn_block_rows(const float* a, std::int64_t lda, const float* b, std::int64_t ldb,
+                   float* c, std::int64_t ldc, std::int64_t rows, std::int64_t n,
+                   std::int64_t k, bool accumulate) {
+  std::int64_t jb = 0;
+  if (rows == kMicroRows) {
+    for (; jb + kMicroCols <= n; jb += kMicroCols) {
+      micro_nn<TransA>(a, lda, b + jb, ldb, c + jb, ldc, k, accumulate);
+    }
+  }
+  if (jb < n) {
+    patch_nn<TransA>(a, lda, b + jb, ldb, c + jb, ldc, rows, n - jb, k, accumulate);
+  }
+}
+
+// Shared NN/TN driver: shard 4-row output blocks, k-tile inside each job.
+template <bool TransA>
+void gemm_nn_like(const float* a, const float* b, float* c, std::int64_t m,
+                  std::int64_t k, std::int64_t n, bool accumulate) {
+  if (m <= 0 || n <= 0) return;
+  if (k <= 0) {
+    if (!accumulate) std::memset(c, 0, static_cast<std::size_t>(m * n) * sizeof(float));
+    return;
+  }
+  const std::int64_t lda = TransA ? m : k;
+  const std::int64_t blocks = (m + kMicroRows - 1) / kMicroRows;
+  const bool parallel = should_parallelize(m, 2 * m * k * n);
+  run_jobs(blocks, parallel, [=](std::size_t blk) {
+    const std::int64_t i0 = static_cast<std::int64_t>(blk) * kMicroRows;
+    const std::int64_t rows = std::min(kMicroRows, m - i0);
+    const float* a_block = TransA ? a + i0 : a + i0 * lda;
+    float* c_block = c + i0 * n;
+    for (std::int64_t p0 = 0; p0 < k; p0 += kKTile) {
+      const std::int64_t kc = std::min(kKTile, k - p0);
+      const float* a_chunk = TransA ? a_block + p0 * lda : a_block + p0;
+      nn_block_rows<TransA>(a_chunk, lda, b + p0 * n, n, c_block, n, rows, n, kc,
+                            accumulate || p0 > 0);
+    }
+  });
 }
 
 }  // namespace
+
+ScopedDispatch::ScopedDispatch(DispatchMode mode, ThreadPool* pool)
+    : saved_mode_{t_dispatch_mode}, saved_pool_{t_dispatch_pool} {
+  t_dispatch_mode = mode;
+  t_dispatch_pool = pool;
+}
+
+ScopedDispatch::~ScopedDispatch() {
+  t_dispatch_mode = saved_mode_;
+  t_dispatch_pool = saved_pool_;
+}
 
 void axpy(float alpha, const float* x, float* y, std::int64_t n, bool accumulate) {
   if (accumulate) {
@@ -26,7 +371,11 @@ void axpy(float alpha, const float* x, float* y, std::int64_t n, bool accumulate
   }
 }
 
-float dot(const float* a, const float* b, std::int64_t n) {
+// noinline for the same reason as softmax_row/rmsnorm_row: the gemm_nt dot
+// fallback runs this both from the serial loop and from pool jobs, and the
+// two call sites must execute one shared fast-math compilation of the
+// reduction to stay bitwise-identical across thread counts.
+[[gnu::noinline]] float dot(const float* a, const float* b, std::int64_t n) {
   float s0 = 0.0F, s1 = 0.0F, s2 = 0.0F, s3 = 0.0F;
   std::int64_t i = 0;
   for (; i + 4 <= n; i += 4) {
@@ -42,89 +391,111 @@ float dot(const float* a, const float* b, std::int64_t n) {
 
 void gemm_nn(const float* a, const float* b, float* c, std::int64_t m, std::int64_t k,
              std::int64_t n, bool accumulate) {
-  const auto row_job = [=](std::size_t row) {
-    const auto i = static_cast<std::int64_t>(row);
-    float* c_row = c + i * n;
-    if (!accumulate) std::memset(c_row, 0, static_cast<std::size_t>(n) * sizeof(float));
-    const float* a_row = a + i * k;
-    for (std::int64_t p = 0; p < k; ++p) {
-      const float a_ip = a_row[p];
-      if (a_ip == 0.0F) continue;
-      const float* b_row = b + p * n;
-      for (std::int64_t j = 0; j < n; ++j) c_row[j] += a_ip * b_row[j];
-    }
-  };
-  if (should_parallelize(m)) {
-    parallel_for(0, static_cast<std::size_t>(m), row_job);
-  } else {
-    for (std::int64_t i = 0; i < m; ++i) row_job(static_cast<std::size_t>(i));
-  }
-}
-
-void gemm_nt(const float* a, const float* b, float* c, std::int64_t m, std::int64_t k,
-             std::int64_t n, bool accumulate) {
-  const auto row_job = [=](std::size_t row) {
-    const auto i = static_cast<std::int64_t>(row);
-    const float* a_row = a + i * k;
-    float* c_row = c + i * n;
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float value = dot(a_row, b + j * k, k);
-      c_row[j] = accumulate ? c_row[j] + value : value;
-    }
-  };
-  if (should_parallelize(m)) {
-    parallel_for(0, static_cast<std::size_t>(m), row_job);
-  } else {
-    for (std::int64_t i = 0; i < m; ++i) row_job(static_cast<std::size_t>(i));
-  }
+  gemm_nn_like<false>(a, b, c, m, k, n, accumulate);
 }
 
 void gemm_tn(const float* a, const float* b, float* c, std::int64_t m, std::int64_t k,
              std::int64_t n, bool accumulate) {
-  if (!accumulate) {
-    std::memset(c, 0, static_cast<std::size_t>(m * n) * sizeof(float));
-  }
-  // C[i,j] += sum_p A[p,i] * B[p,j]: accumulate one outer product per p.
-  for (std::int64_t p = 0; p < k; ++p) {
-    const float* a_row = a + p * m;  // A[p, :m]
-    const float* b_row = b + p * n;
-    for (std::int64_t i = 0; i < m; ++i) {
-      const float a_pi = a_row[i];
-      if (a_pi == 0.0F) continue;
+  gemm_nn_like<true>(a, b, c, m, k, n, accumulate);
+}
+
+void gemm_nt(const float* a, const float* b, float* c, std::int64_t m, std::int64_t k,
+             std::int64_t n, bool accumulate) {
+  if (m <= 0 || n <= 0) return;
+  const bool parallel = should_parallelize(m, 2 * m * k * n);
+  if (!kHasNtMicro || m < kMicroRows || n < 4 || k < 8) {
+    // Small shapes (single-token decode, LoRA rank-k products) and hosts
+    // without a SIMD micro-kernel: one dot product per output element.
+    run_jobs(m, parallel, [=](std::size_t row) {
+      const auto i = static_cast<std::int64_t>(row);
+      const float* a_row = a + i * k;
       float* c_row = c + i * n;
-      for (std::int64_t j = 0; j < n; ++j) c_row[j] += a_pi * b_row[j];
-    }
+      for (std::int64_t j = 0; j < n; ++j) {
+        const float value = dot(a_row, b + j * k, k);
+        c_row[j] = accumulate ? c_row[j] + value : value;
+      }
+    });
+    return;
   }
+  const std::int64_t blocks = (m + kMicroRows - 1) / kMicroRows;
+  run_jobs(blocks, parallel, [=](std::size_t blk) {
+    const std::int64_t i0 = static_cast<std::int64_t>(blk) * kMicroRows;
+    const std::int64_t rows = std::min(kMicroRows, m - i0);
+    if (rows == kMicroRows) {
+      std::int64_t jb = 0;
+      for (; jb + 4 <= n; jb += 4) {
+        for (std::int64_t p0 = 0; p0 < k; p0 += kKTile) {
+          const std::int64_t kc = std::min(kKTile, k - p0);
+          micro_nt(a + i0 * k + p0, k, b + jb * k + p0, k, c + i0 * n + jb, n, kc,
+                   accumulate || p0 > 0);
+        }
+      }
+      for (; jb < n; ++jb) {
+        const float* b_row = b + jb * k;
+        for (std::int64_t i = i0; i < i0 + kMicroRows; ++i) {
+          const float value = dot(a + i * k, b_row, k);
+          float* out = c + i * n + jb;
+          *out = accumulate ? *out + value : value;
+        }
+      }
+    } else {
+      for (std::int64_t i = i0; i < i0 + rows; ++i) {
+        const float* a_row = a + i * k;
+        float* c_row = c + i * n;
+        for (std::int64_t j = 0; j < n; ++j) {
+          const float value = dot(a_row, b + j * k, k);
+          c_row[j] = accumulate ? c_row[j] + value : value;
+        }
+      }
+    }
+  });
+}
+
+// The per-row bodies are noinline on purpose: under -ffast-math GCC is free
+// to pick a different reduction order for an inlined copy (serial loop) than
+// for the out-of-line copy invoked through the thread pool's type-erased
+// callable, which would make parallel results bitwise-diverge from serial
+// ones. A single compiled copy keeps the reduction order identical on both
+// paths.
+[[gnu::noinline]] void softmax_row(float* row, std::int64_t cols) {
+  float max_value = row[0];
+  for (std::int64_t c = 1; c < cols; ++c) max_value = std::max(max_value, row[c]);
+  float sum = 0.0F;
+  for (std::int64_t c = 0; c < cols; ++c) {
+    row[c] = std::exp(row[c] - max_value);
+    sum += row[c];
+  }
+  const float inv = 1.0F / sum;
+  for (std::int64_t c = 0; c < cols; ++c) row[c] *= inv;
+}
+
+[[gnu::noinline]] void rmsnorm_row(const float* x_row, const float* weight,
+                                   float* out_row, std::int64_t cols, float eps,
+                                   float* inv_rms_slot) {
+  float mean_sq = 0.0F;
+  for (std::int64_t c = 0; c < cols; ++c) mean_sq += x_row[c] * x_row[c];
+  mean_sq /= static_cast<float>(cols);
+  const float scale = 1.0F / std::sqrt(mean_sq + eps);
+  if (inv_rms_slot != nullptr) *inv_rms_slot = scale;
+  for (std::int64_t c = 0; c < cols; ++c) out_row[c] = x_row[c] * scale * weight[c];
 }
 
 void softmax_rows(float* x, std::int64_t rows, std::int64_t cols) {
-  for (std::int64_t r = 0; r < rows; ++r) {
-    float* row = x + r * cols;
-    float max_value = row[0];
-    for (std::int64_t c = 1; c < cols; ++c) max_value = std::max(max_value, row[c]);
-    float sum = 0.0F;
-    for (std::int64_t c = 0; c < cols; ++c) {
-      row[c] = std::exp(row[c] - max_value);
-      sum += row[c];
-    }
-    const float inv = 1.0F / sum;
-    for (std::int64_t c = 0; c < cols; ++c) row[c] *= inv;
-  }
+  const bool parallel = should_parallelize_rows(rows, rows * cols);
+  run_jobs(rows, parallel, [=](std::size_t r) {
+    softmax_row(x + static_cast<std::int64_t>(r) * cols, cols);
+  });
 }
 
 void rmsnorm_forward(const float* x, const float* weight, float* out,
                      std::int64_t rows, std::int64_t cols, float eps,
                      float* inv_rms) {
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const float* x_row = x + r * cols;
-    float* out_row = out + r * cols;
-    float mean_sq = 0.0F;
-    for (std::int64_t c = 0; c < cols; ++c) mean_sq += x_row[c] * x_row[c];
-    mean_sq /= static_cast<float>(cols);
-    const float scale = 1.0F / std::sqrt(mean_sq + eps);
-    if (inv_rms != nullptr) inv_rms[r] = scale;
-    for (std::int64_t c = 0; c < cols; ++c) out_row[c] = x_row[c] * scale * weight[c];
-  }
+  const bool parallel = should_parallelize_rows(rows, rows * cols);
+  run_jobs(rows, parallel, [=](std::size_t rr) {
+    const auto r = static_cast<std::int64_t>(rr);
+    rmsnorm_row(x + r * cols, weight, out + r * cols, cols, eps,
+                inv_rms != nullptr ? inv_rms + r : nullptr);
+  });
 }
 
 float silu(float x) noexcept {
@@ -139,20 +510,8 @@ float silu_derivative(float x) noexcept {
 
 void rope_apply(float* vec, std::int64_t n_heads, std::int64_t head_dim,
                 std::int64_t pos, float base, float sign) {
-  for (std::int64_t h = 0; h < n_heads; ++h) {
-    float* head = vec + h * head_dim;
-    for (std::int64_t i = 0; i + 1 < head_dim; i += 2) {
-      const float freq =
-          std::pow(base, -static_cast<float>(i) / static_cast<float>(head_dim));
-      const float angle = sign * static_cast<float>(pos) * freq;
-      const float cos_a = std::cos(angle);
-      const float sin_a = std::sin(angle);
-      const float x0 = head[i];
-      const float x1 = head[i + 1];
-      head[i] = x0 * cos_a - x1 * sin_a;
-      head[i + 1] = x0 * sin_a + x1 * cos_a;
-    }
-  }
+  const auto table = RopeTable::get(head_dim, base, pos + 1);
+  table->apply(vec, n_heads, pos, sign);
 }
 
 }  // namespace sdd::kernels

@@ -1,13 +1,21 @@
 // Raw float kernels shared by the autograd ops and the no-grad inference path.
 //
 // All GEMM variants are row-major and accumulate into C when `accumulate` is
-// true (C += ...), otherwise they overwrite C. Inner loops are written so GCC
-// auto-vectorizes them with -O3 -march=native; rows are sharded over the
-// global thread pool when it has workers.
+// true (C += ...), otherwise they overwrite C. The GEMMs run through
+// register-blocked micro-kernels (explicit AVX-512/AVX2+FMA paths selected at
+// compile time, with an auto-vectorized portable fallback) and shard
+// 4-row output blocks over the global thread pool when the matrix is large
+// enough to amortize dispatch. Every output row is computed with a fixed
+// reduction order that does not depend on the thread count, so parallel and
+// serial execution produce bit-identical results. See docs/kernels.md.
 #pragma once
 
 #include <cstdint>
 #include <span>
+
+namespace sdd {
+class ThreadPool;
+}
 
 namespace sdd::kernels {
 
@@ -29,10 +37,12 @@ void axpy(float alpha, const float* x, float* y, std::int64_t n, bool accumulate
 float dot(const float* a, const float* b, std::int64_t n);
 
 // In-place numerically stable softmax over each row of x[rows, cols].
+// Rows are sharded over the thread pool when the workload is large enough.
 void softmax_rows(float* x, std::int64_t rows, std::int64_t cols);
 
 // RMSNorm forward: out[r,:] = x[r,:] / rms(x[r,:]) * weight; returns nothing,
 // caller may pass `inv_rms != nullptr` to capture 1/rms per row for backward.
+// Rows are sharded over the thread pool when the workload is large enough.
 void rmsnorm_forward(const float* x, const float* weight, float* out,
                      std::int64_t rows, std::int64_t cols, float eps,
                      float* inv_rms);
@@ -44,7 +54,38 @@ float silu_derivative(float x) noexcept;
 // Rotary position embedding applied in-place to a [heads, head_dim] slice for
 // a single position `pos`. Pairs (2i, 2i+1) are rotated by pos * base^(-2i/d).
 // `sign` = +1 applies the rotation, -1 applies the inverse (for backward).
+// Angles come from the process-wide cos/sin table cache (see rope_cache.hpp);
+// hot paths should acquire the table once and call RopeTable::apply directly.
 void rope_apply(float* vec, std::int64_t n_heads, std::int64_t head_dim,
                 std::int64_t pos, float base, float sign);
+
+// ---- parallel dispatch control -------------------------------------------
+//
+// By default (kAuto) row-sharded kernels consult a row-count *and* a total
+// FLOP threshold before using the global thread pool, so skinny matmuls
+// (single-token decode steps) never pay dispatch overhead. Tests can pin the
+// dispatch decision to prove parallel and serial execution are bit-identical.
+
+enum class DispatchMode {
+  kAuto,           // heuristic: parallelize only when large enough
+  kForceSerial,    // always run inline on the calling thread
+  kForceParallel,  // always shard over the pool (override pool optional)
+};
+
+// RAII override of the kernel dispatch policy for the current thread. When
+// `pool` is non-null with kForceParallel, that pool is used instead of the
+// global one (lets tests exercise multi-worker execution on any host).
+class ScopedDispatch {
+ public:
+  explicit ScopedDispatch(DispatchMode mode, ThreadPool* pool = nullptr);
+  ~ScopedDispatch();
+
+  ScopedDispatch(const ScopedDispatch&) = delete;
+  ScopedDispatch& operator=(const ScopedDispatch&) = delete;
+
+ private:
+  DispatchMode saved_mode_;
+  ThreadPool* saved_pool_;
+};
 
 }  // namespace sdd::kernels

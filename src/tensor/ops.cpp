@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "tensor/kernels.hpp"
+#include "tensor/rope_cache.hpp"
 
 namespace sdd::ops {
 namespace {
@@ -313,13 +314,15 @@ Tensor causal_self_attention(const Tensor& q, const Tensor& k, const Tensor& v,
   const float inv_sqrt_d = 1.0F / std::sqrt(static_cast<float>(head_dim));
 
   // Rotated copies of q and k (RoPE is a per-position orthogonal rotation).
+  // The cos/sin table is acquired once per call and shared with backward.
+  const auto rope = kernels::RopeTable::get(head_dim, rope_base, seq);
   std::vector<float> q_rot(q.data().begin(), q.data().end());
   std::vector<float> k_rot(k.data().begin(), k.data().end());
   for (std::int64_t b = 0; b < batch; ++b) {
     for (std::int64_t t = 0; t < seq; ++t) {
       const std::int64_t offset = (b * seq + t) * channels;
-      kernels::rope_apply(q_rot.data() + offset, n_heads, head_dim, t, rope_base, 1.0F);
-      kernels::rope_apply(k_rot.data() + offset, n_heads, head_dim, t, rope_base, 1.0F);
+      rope->apply(q_rot.data() + offset, n_heads, t, 1.0F);
+      rope->apply(k_rot.data() + offset, n_heads, t, 1.0F);
     }
   }
 
@@ -375,7 +378,7 @@ Tensor causal_self_attention(const Tensor& q, const Tensor& k, const Tensor& v,
   set_grad_fn(
       out, {q, k, v},
       [out_impl, q_impl, k_impl, v_impl, batch, seq, channels, n_heads, head_dim,
-       inv_sqrt_d, rope_base, q_rot = std::move(q_rot), k_rot = std::move(k_rot),
+       inv_sqrt_d, rope, q_rot = std::move(q_rot), k_rot = std::move(k_rot),
        probs = std::move(probs)] {
         // Offset helpers over the *captured* buffers (the forward-scope
         // lambdas referenced stack locals and must not be reused here).
@@ -436,10 +439,8 @@ Tensor causal_self_attention(const Tensor& q, const Tensor& k, const Tensor& v,
         for (std::int64_t b = 0; b < batch; ++b) {
           for (std::int64_t t = 0; t < seq; ++t) {
             const std::int64_t offset = (b * seq + t) * channels;
-            kernels::rope_apply(d_q_rot.data() + offset, n_heads, head_dim, t,
-                                rope_base, -1.0F);
-            kernels::rope_apply(d_k_rot.data() + offset, n_heads, head_dim, t,
-                                rope_base, -1.0F);
+            rope->apply(d_q_rot.data() + offset, n_heads, t, -1.0F);
+            rope->apply(d_k_rot.data() + offset, n_heads, t, -1.0F);
           }
         }
         for (std::size_t i = 0; i < d_q_rot.size(); ++i) {

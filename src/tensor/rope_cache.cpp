@@ -1,0 +1,89 @@
+#include "tensor/rope_cache.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <utility>
+
+namespace sdd::kernels {
+namespace {
+
+constexpr std::int64_t kMinTablePositions = 256;
+
+std::mutex g_cache_mutex;
+// Keyed by (head_dim, bit pattern of base) so distinct float bases never alias.
+std::map<std::pair<std::int64_t, std::uint32_t>, std::shared_ptr<const RopeTable>>&
+cache() {
+  static auto* tables = new std::map<std::pair<std::int64_t, std::uint32_t>,
+                                     std::shared_ptr<const RopeTable>>{};
+  return *tables;
+}
+
+std::uint32_t float_bits(float value) {
+  std::uint32_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+RopeTable::RopeTable(std::int64_t head_dim, float base, std::int64_t positions)
+    : head_dim_{head_dim}, positions_{positions} {
+  data_.resize(static_cast<std::size_t>(positions * head_dim));
+  // Frequencies match the historical scalar rope_apply arithmetic exactly
+  // (float pow, float angle) so cached and uncached results are identical.
+  std::vector<float> freqs(static_cast<std::size_t>(head_dim / 2));
+  for (std::int64_t i = 0; i + 1 < head_dim; i += 2) {
+    freqs[static_cast<std::size_t>(i / 2)] =
+        std::pow(base, -static_cast<float>(i) / static_cast<float>(head_dim));
+  }
+  for (std::int64_t pos = 0; pos < positions; ++pos) {
+    float* row = data_.data() + pos * head_dim;
+    for (std::int64_t i = 0; i + 1 < head_dim; i += 2) {
+      const float angle =
+          static_cast<float>(pos) * freqs[static_cast<std::size_t>(i / 2)];
+      row[i] = std::cos(angle);
+      row[i + 1] = std::sin(angle);
+    }
+  }
+}
+
+void RopeTable::apply(float* vec, std::int64_t n_heads, std::int64_t pos,
+                      float sign) const {
+  const float* r = row(pos);
+  for (std::int64_t h = 0; h < n_heads; ++h) {
+    float* head = vec + h * head_dim_;
+    for (std::int64_t i = 0; i + 1 < head_dim_; i += 2) {
+      const float cos_a = r[i];
+      const float sin_a = sign * r[i + 1];
+      const float x0 = head[i];
+      const float x1 = head[i + 1];
+      head[i] = x0 * cos_a - x1 * sin_a;
+      head[i + 1] = x0 * sin_a + x1 * cos_a;
+    }
+  }
+}
+
+std::shared_ptr<const RopeTable> RopeTable::get(std::int64_t head_dim, float base,
+                                                std::int64_t min_positions) {
+  const std::pair<std::int64_t, std::uint32_t> key{head_dim, float_bits(base)};
+  const std::lock_guard<std::mutex> lock{g_cache_mutex};
+  auto& tables = cache();
+  auto it = tables.find(key);
+  if (it != tables.end() && it->second->positions() >= min_positions) {
+    return it->second;
+  }
+  // Grow geometrically (and never below a useful floor) so decode loops that
+  // extend one position at a time trigger only O(log n) rebuilds.
+  std::int64_t positions = std::max(min_positions, kMinTablePositions);
+  positions = static_cast<std::int64_t>(
+      std::bit_ceil(static_cast<std::uint64_t>(positions)));
+  auto table = std::shared_ptr<const RopeTable>{
+      new RopeTable{head_dim, base, positions}};
+  tables[key] = table;
+  return table;
+}
+
+}  // namespace sdd::kernels

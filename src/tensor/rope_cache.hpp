@@ -1,0 +1,49 @@
+// Process-wide cache of precomputed RoPE cos/sin tables.
+//
+// The scalar rope_apply used to recompute pow/cos/sin for every (position,
+// pair) on every call — per token, per head pair, per layer, in both forward
+// and backward. A table for a given (head_dim, base) is position-independent
+// work that this cache does once; lookups after the first are a mutex-guarded
+// map hit, and hot loops (batched attention, decode steps) hold the returned
+// shared_ptr and call apply() directly with no locking per position.
+//
+// Tables grow geometrically when a longer sequence is requested; the old
+// table stays alive for existing holders (shared_ptr), so apply() is safe to
+// call concurrently from pool workers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace sdd::kernels {
+
+class RopeTable {
+ public:
+  // Returns the shared table for (head_dim, base) covering at least
+  // `min_positions` positions (grown and re-published if needed).
+  static std::shared_ptr<const RopeTable> get(std::int64_t head_dim, float base,
+                                              std::int64_t min_positions);
+
+  std::int64_t head_dim() const noexcept { return head_dim_; }
+  std::int64_t positions() const noexcept { return positions_; }
+
+  // Row layout: head_dim floats per position, (cos, sin) interleaved per
+  // rotation pair, i.e. row(p)[2i] = cos(p * freq_i), row(p)[2i+1] = sin(...).
+  const float* row(std::int64_t pos) const noexcept {
+    return data_.data() + pos * head_dim_;
+  }
+
+  // Rotate vec ([n_heads, head_dim], in place) for position `pos`.
+  // `sign` = +1 applies the rotation, -1 the inverse (backward pass).
+  void apply(float* vec, std::int64_t n_heads, std::int64_t pos, float sign) const;
+
+ private:
+  RopeTable(std::int64_t head_dim, float base, std::int64_t positions);
+
+  std::int64_t head_dim_;
+  std::int64_t positions_;
+  std::vector<float> data_;  // [positions, head_dim]
+};
+
+}  // namespace sdd::kernels

@@ -2,15 +2,17 @@
 
 #include <algorithm>
 
+#include "util/env.hpp"
+
 namespace sdd {
 
-ThreadPool::ThreadPool(std::size_t threads) {
-  if (threads == 0) {
+ThreadPool::ThreadPool(std::size_t workers) {
+  if (workers == kAutoWorkers) {
     const unsigned hw = std::thread::hardware_concurrency();
-    threads = hw > 1 ? hw - 1 : 0;
+    workers = hw > 1 ? hw - 1 : 0;
   }
-  workers_.reserve(threads);
-  for (std::size_t i = 0; i < threads; ++i) {
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
 }
@@ -86,7 +88,11 @@ void ThreadPool::worker_loop() {
 }
 
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
+  static ThreadPool pool{[] {
+    const std::int64_t requested = env_int("SDD_THREADS", 0);
+    if (requested > 0) return static_cast<std::size_t>(requested - 1);
+    return kAutoWorkers;
+  }()};
   return pool;
 }
 

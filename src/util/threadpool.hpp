@@ -3,11 +3,14 @@
 // On single-core machines (the default evaluation environment for this repo)
 // the pool degenerates to inline execution with zero thread overhead; on
 // multi-core machines GEMM and evaluation sharding use it transparently.
+// The global pool size is controlled by SDD_THREADS (total compute threads
+// including the caller; unset or 0 = hardware_concurrency()).
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <limits>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -17,9 +20,13 @@ namespace sdd {
 
 class ThreadPool {
  public:
-  // `threads == 0` selects hardware_concurrency() - 1 (inline execution when
-  // that is zero, i.e. on a single-core host).
-  explicit ThreadPool(std::size_t threads = 0);
+  // Sentinel selecting hardware_concurrency() - 1 workers (inline execution
+  // when that is zero, i.e. on a single-core host).
+  static constexpr std::size_t kAutoWorkers = std::numeric_limits<std::size_t>::max();
+
+  // `workers` is the exact number of pool threads to spawn; the caller always
+  // participates in parallel_for, so total parallelism is `workers + 1`.
+  explicit ThreadPool(std::size_t workers = kAutoWorkers);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -33,7 +40,9 @@ class ThreadPool {
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn);
 
-  // Process-wide default pool.
+  // Process-wide default pool. Sized from SDD_THREADS on first use: a value
+  // N > 0 means N total compute threads (N - 1 pool workers); unset/0 means
+  // auto-detect from hardware_concurrency().
   static ThreadPool& global();
 
  private:

@@ -5,7 +5,9 @@
 #include <gtest/gtest.h>
 
 #include "tensor/kernels.hpp"
+#include "tensor/kernels_ref.hpp"
 #include "util/rng.hpp"
+#include "util/threadpool.hpp"
 
 namespace sdd {
 namespace {
@@ -189,6 +191,145 @@ TEST(Kernels, DotHandlesTailElements) {
   const std::vector<float> a{1, 2, 3, 4, 5, 6, 7};
   const std::vector<float> b{1, 1, 1, 1, 1, 1, 1};
   EXPECT_FLOAT_EQ(kernels::dot(a.data(), b.data(), 7), 28.0F);
+}
+
+// ------------------------------------------------------------------------
+// Equivalence against the retained naive reference (kernels_ref.cpp): the
+// blocked/vectorized kernels must agree with the pre-optimization scalar
+// loops to within 1e-4 on shapes that are NOT multiples of the tile sizes
+// (4-row micro-tiles, 16/32-lane SIMD widths, 512-deep k-tiles), in both
+// accumulate modes.
+
+class RefEquivalence : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(RefEquivalence, GemmsMatchReference) {
+  const auto [m, k, n] = GetParam();
+  for (const bool accumulate : {false, true}) {
+    Rng rng{static_cast<std::uint64_t>(m * 31 + k * 17 + n * 7 + (accumulate ? 1 : 0))};
+    const auto a_nn = random_vec(rng, m * k);   // also A for NT ([m, k])
+    const auto a_tn = random_vec(rng, k * m);   // A for TN ([k, m])
+    const auto b_nn = random_vec(rng, k * n);   // also B for TN ([k, n])
+    const auto b_nt = random_vec(rng, n * k);   // B for NT ([n, k])
+    const auto c_init = random_vec(rng, m * n);
+
+    const auto check = [&](const char* label, auto&& fast, auto&& naive,
+                           const float* a, const float* b) {
+      auto got = c_init;
+      auto want = c_init;
+      fast(a, b, got.data(), m, k, n, accumulate);
+      naive(a, b, want.data(), m, k, n, accumulate);
+      float max_err = 0.0F;
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        max_err = std::max(max_err, std::abs(got[i] - want[i]));
+      }
+      EXPECT_LE(max_err, 1e-4F) << label << " m=" << m << " k=" << k << " n=" << n
+                                << " accumulate=" << accumulate;
+    };
+    check("gemm_nn", kernels::gemm_nn, kernels::ref::gemm_nn, a_nn.data(), b_nn.data());
+    check("gemm_nt", kernels::gemm_nt, kernels::ref::gemm_nt, a_nn.data(), b_nt.data());
+    check("gemm_tn", kernels::gemm_tn, kernels::ref::gemm_tn, a_tn.data(), b_nn.data());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(OddShapes, RefEquivalence,
+                         ::testing::Values(std::tuple{5, 7, 9}, std::tuple{13, 31, 17},
+                                           std::tuple{33, 65, 129},
+                                           std::tuple{67, 129, 65},
+                                           std::tuple{67, 515, 35},   // k-tile tail
+                                           std::tuple{3, 1027, 2}));  // dot fallback
+
+TEST(RefEquivalence, SoftmaxMatchesReference) {
+  Rng rng{11};
+  auto got = random_vec(rng, 7 * 33);
+  auto want = got;
+  kernels::softmax_rows(got.data(), 7, 33);
+  kernels::ref::softmax_rows(want.data(), 7, 33);
+  for (std::size_t i = 0; i < got.size(); ++i) EXPECT_NEAR(got[i], want[i], 1e-4F);
+}
+
+TEST(RefEquivalence, RmsNormMatchesReference) {
+  Rng rng{12};
+  const auto x = random_vec(rng, 9 * 65);
+  const auto w = random_vec(rng, 65);
+  std::vector<float> got(9 * 65), want(9 * 65), got_rms(9), want_rms(9);
+  kernels::rmsnorm_forward(x.data(), w.data(), got.data(), 9, 65, 1e-5F,
+                           got_rms.data());
+  kernels::ref::rmsnorm_forward(x.data(), w.data(), want.data(), 9, 65, 1e-5F,
+                                want_rms.data());
+  for (std::size_t i = 0; i < got.size(); ++i) EXPECT_NEAR(got[i], want[i], 1e-4F);
+  for (std::size_t i = 0; i < got_rms.size(); ++i) {
+    EXPECT_NEAR(got_rms[i], want_rms[i], 1e-4F);
+  }
+}
+
+TEST(RefEquivalence, RopeTableMatchesPerCallTrig) {
+  Rng rng{13};
+  const std::int64_t heads = 3, head_dim = 10;
+  for (const std::int64_t pos : {0, 1, 7, 63, 300}) {
+    for (const float sign : {1.0F, -1.0F}) {
+      auto got = random_vec(rng, heads * head_dim);
+      auto want = got;
+      kernels::rope_apply(got.data(), heads, head_dim, pos, 10000.0F, sign);
+      kernels::ref::rope_apply(want.data(), heads, head_dim, pos, 10000.0F, sign);
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_NEAR(got[i], want[i], 1e-4F) << "pos=" << pos << " sign=" << sign;
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------------------
+// Determinism: the parallel paths shard disjoint output rows and keep the
+// per-row reduction order fixed, so a kernel run across a thread pool must be
+// BIT-identical to a serial run. This is what keeps checkpoint/resume
+// bit-exact (test_robustness) regardless of SDD_THREADS.
+
+TEST(KernelDeterminism, ParallelMatchesSerialBitExact) {
+  ThreadPool pool{3};
+  // Big enough that every kernel clears its parallel dispatch thresholds.
+  const std::int64_t m = 131, k = 257, n = 129;
+  Rng rng{14};
+  const auto a = random_vec(rng, m * k);
+  const auto a_t = random_vec(rng, k * m);
+  const auto b = random_vec(rng, k * n);
+  const auto b_t = random_vec(rng, n * k);
+  const auto c_init = random_vec(rng, m * n);
+
+  const auto run_all = [&](kernels::DispatchMode mode, ThreadPool* run_pool) {
+    kernels::ScopedDispatch dispatch{mode, run_pool};
+    std::vector<std::vector<float>> outs;
+    for (const bool accumulate : {false, true}) {
+      auto c = c_init;
+      kernels::gemm_nn(a.data(), b.data(), c.data(), m, k, n, accumulate);
+      outs.push_back(c);
+      c = c_init;
+      kernels::gemm_nt(a.data(), b_t.data(), c.data(), m, k, n, accumulate);
+      outs.push_back(c);
+      c = c_init;
+      kernels::gemm_tn(a_t.data(), b.data(), c.data(), m, k, n, accumulate);
+      outs.push_back(c);
+    }
+    auto soft = a;
+    kernels::softmax_rows(soft.data(), m, k);
+    outs.push_back(soft);
+    std::vector<float> normed(static_cast<std::size_t>(m * k));
+    kernels::rmsnorm_forward(a.data(), b.data(), normed.data(), m, k, 1e-5F, nullptr);
+    outs.push_back(normed);
+    return outs;
+  };
+
+  const auto serial = run_all(kernels::DispatchMode::kForceSerial, nullptr);
+  const auto parallel = run_all(kernels::DispatchMode::kForceParallel, &pool);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t o = 0; o < serial.size(); ++o) {
+    ASSERT_EQ(serial[o].size(), parallel[o].size());
+    for (std::size_t i = 0; i < serial[o].size(); ++i) {
+      // Exact bit equality, not a tolerance: divergence here would break
+      // deterministic resume.
+      ASSERT_EQ(serial[o][i], parallel[o][i])
+          << "output " << o << " element " << i << " diverged across thread counts";
+    }
+  }
 }
 
 }  // namespace
