@@ -17,6 +17,7 @@
 #include "util/env.hpp"
 #include "util/hash.hpp"
 #include "util/log.hpp"
+#include "util/supervisor.hpp"
 
 using namespace sdd;
 
@@ -35,8 +36,11 @@ int main() {
   eval::SuiteSpec spec;
   spec.mc_items = env_int("SDD_SOAK_ITEMS", 6);
   spec.gen_items = spec.mc_items;
-  const auto scores =
-      eval::evaluate_suite(recovered, pipeline.world(), eval::core_tasks(), spec);
+  const auto scores = supervisor::supervised(
+      "eval", config.supervise, [&]() -> eval::SuiteScores {
+        return eval::evaluate_suite(recovered, pipeline.world(),
+                                    eval::core_tasks(), spec);
+      });
 
   // The digest is written with plain stdio, outside the fault-instrumented
   // artifact path: it reports results, it is not an artifact under test.

@@ -44,11 +44,14 @@ def load_benchmarks(path: str) -> dict[str, dict]:
     return out
 
 
-def metric(bench: dict) -> tuple[str, float, bool]:
-    """Return (metric-name, value, higher_is_better)."""
+def metric(bench: dict) -> tuple[str, float, bool] | None:
+    """Return (metric-name, value, higher_is_better), or None when the row
+    reports neither items_per_second nor real_time (malformed JSON row)."""
     if "items_per_second" in bench:
         return "items_per_second", float(bench["items_per_second"]), True
-    return "real_time", float(bench["real_time"]), False
+    if "real_time" in bench:
+        return "real_time", float(bench["real_time"]), False
+    return None
 
 
 def main() -> int:
@@ -83,6 +86,13 @@ def main() -> int:
         print(f"bench_compare: no benchmarks in {args.current}", file=sys.stderr)
         return 1
 
+    # Benchmarks present in only one file are never comparable: report them
+    # once in the summary instead of tripping a per-row KeyError. CI runs a
+    # benchmark filter, so a subset current run is routine there (--mode=warn
+    # keeps it green); locally (--mode=fail) a mismatch is an error.
+    removed = sorted(set(baseline) - set(current))
+    added = sorted(set(current) - set(baseline))
+
     regressions: list[str] = []
     compared = 0
     print(f"{'benchmark':<34} {'baseline':>14} {'current':>14} {'delta':>8}")
@@ -90,8 +100,18 @@ def main() -> int:
         if name not in current:
             print(f"{name:<34} {'(missing in current run)':>38}")
             continue
-        metric_name, base_value, higher_better = metric(baseline[name])
-        cur_metric_name, cur_value, _ = metric(current[name])
+        base_metric = metric(baseline[name])
+        cur_metric = metric(current[name])
+        if base_metric is None or cur_metric is None:
+            which = args.baseline if base_metric is None else args.current
+            print(
+                f"bench_compare: benchmark {name!r} in {which} reports neither "
+                "items_per_second nor real_time",
+                file=sys.stderr,
+            )
+            return 1
+        metric_name, base_value, higher_better = base_metric
+        cur_metric_name, cur_value, _ = cur_metric
         if metric_name != cur_metric_name or base_value == 0:
             print(f"{name:<34} {'(metric mismatch)':>38}")
             continue
@@ -109,6 +129,13 @@ def main() -> int:
         if flagged:
             regressions.append(name)
 
+    if removed:
+        print(f"\nbench_compare: {len(removed)} benchmark(s) only in baseline "
+              f"(removed?): {', '.join(removed)}")
+    if added:
+        print(f"bench_compare: {len(added)} benchmark(s) only in current run "
+              f"(added?): {', '.join(added)}")
+
     if compared == 0:
         print("bench_compare: no comparable benchmarks found", file=sys.stderr)
         return 1
@@ -119,6 +146,13 @@ def main() -> int:
             file=sys.stderr,
         )
         return 1 if args.mode == "fail" else 0
+    if (removed or added) and args.mode == "fail":
+        print(
+            f"\nbench_compare: benchmark sets differ ({len(removed)} removed, "
+            f"{len(added)} added) — regenerate the baseline or pass --mode=warn",
+            file=sys.stderr,
+        )
+        return 1
     print(f"\nbench_compare: {compared} benchmark(s) within tolerance")
     return 0
 

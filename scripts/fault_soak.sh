@@ -10,7 +10,12 @@
 #   crash_at_step:N   _Exit(137) mid-training (pretrain and SFT step counts)
 #   crash_at_io:N     _Exit(137) between tmp-file fsync and rename
 #   truncate_write    artifact stores write a torn half-blob to the final path
-#   io_fail:p=1       every artifact store fails outright
+#   io_fail:p=...     artifact stores fail outright (p=1: always; p<1: flaky)
+#   hang_at_step:N    stall forever at train step N; the stage supervisor's
+#                     hang watchdog (SDD_STAGE_HANG_SEC) must abort and retry
+#   nan_at_step:N     poison the Nth loss with NaN; the numeric-divergence
+#                     guard must roll back and replay in-process
+#   slow_io:ms=M      every artifact write sleeps M ms first (latency soak)
 set -euo pipefail
 
 BUILD="${1:-build}"
@@ -129,6 +134,30 @@ check_case torn_writes            "truncate_write"   no
 # Every store fails: caching is best-effort, so the run still completes and
 # the rerun recomputes everything from scratch.
 check_case store_blackout         "io_fail:p=1"      no
+
+# Flaky stores: each artifact store independently fails with probability
+# 0.05; results must still converge on the reference digest.
+check_case store_flaky            "io_fail:p=0.05"   no
+
+# Injected hangs: training stalls at the given step and stays silent. The
+# stage watchdog (1s heartbeat-silence threshold) must cancel the stage and
+# the supervisor retry it in-process — resuming from the last checkpoint
+# (pretrain step 9 is past the step-7 checkpoint; global step 44 is SFT local
+# step 4, before the SFT checkpoint) and converging on the reference digest
+# without a process restart.
+SDD_STAGE_HANG_SEC=1 check_case hang_pretrain "hang_at_step:9"  no
+SDD_STAGE_HANG_SEC=1 check_case hang_sft      "hang_at_step:44" no
+
+# Injected NaN losses: the numeric-divergence guard rolls the loop back to
+# its last in-memory snapshot, replays (the one-shot fault does not re-fire),
+# and the run completes with bit-identical weights — no restart, no retry.
+check_case nan_pretrain           "nan_at_step:11"   no
+check_case nan_sft                "nan_at_step:45"   no
+
+# Slow I/O: every artifact write is delayed 5ms. Purely a latency fault —
+# nothing may time out or change results at the default (watchdogs off)
+# supervision settings.
+check_case slow_io                "slow_io:ms=5"     no
 
 echo
 echo "== fault soak summary"

@@ -1,8 +1,13 @@
 #include "core/cache.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
+#include <system_error>
+#include <utility>
+#include <vector>
 
+#include "util/env.hpp"
 #include "util/hash.hpp"
 #include "util/log.hpp"
 #include "util/serialize.hpp"
@@ -13,12 +18,48 @@ constexpr std::string_view kDatasetMagic = "SDDDATA1";
 constexpr std::uint32_t kDatasetVersion = 1;
 }  // namespace
 
-ExperimentCache::ExperimentCache(std::filesystem::path directory)
+ExperimentCache::ExperimentCache(std::filesystem::path directory,
+                                 std::int64_t quarantine_keep)
     : directory_{std::move(directory)} {
   std::filesystem::create_directories(directory_ / "models");
   std::filesystem::create_directories(directory_ / "datasets");
   std::filesystem::create_directories(directory_ / "metrics");
   std::filesystem::create_directories(directory_ / "checkpoints");
+  if (quarantine_keep < 0) quarantine_keep = env_int("SDD_QUARANTINE_KEEP", 8);
+  prune_quarantine(quarantine_keep);
+}
+
+void ExperimentCache::prune_quarantine(std::int64_t keep) const {
+  // Collect every *.corrupt file under the cache; errors (races with
+  // concurrent processes, permissions) only shrink the list — pruning the
+  // quarantine is best-effort hygiene, never a correctness requirement.
+  std::vector<std::pair<std::filesystem::file_time_type, std::filesystem::path>>
+      corrupt;
+  std::error_code ec;
+  for (std::filesystem::recursive_directory_iterator
+           it{directory_, std::filesystem::directory_options::skip_permission_denied,
+              ec},
+       end;
+       !ec && it != end; it.increment(ec)) {
+    if (!it->is_regular_file(ec) || ec) continue;
+    if (it->path().extension() != ".corrupt") continue;
+    const auto mtime = it->last_write_time(ec);
+    if (ec) continue;
+    corrupt.emplace_back(mtime, it->path());
+  }
+  if (std::cmp_less_equal(corrupt.size(), keep)) return;
+  std::sort(corrupt.begin(), corrupt.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::int64_t removed = 0;
+  for (std::size_t i = static_cast<std::size_t>(std::max<std::int64_t>(keep, 0));
+       i < corrupt.size(); ++i) {
+    std::error_code rm_ec;
+    if (std::filesystem::remove(corrupt[i].second, rm_ec) && !rm_ec) ++removed;
+  }
+  if (removed > 0) {
+    log_info("cache: pruned ", removed, " quarantined artifact(s), keeping the ",
+             keep, " newest (SDD_QUARANTINE_KEEP)");
+  }
 }
 
 std::filesystem::path ExperimentCache::model_path(std::uint64_t key) const {

@@ -24,7 +24,13 @@ namespace sdd::core {
 
 class ExperimentCache {
  public:
-  explicit ExperimentCache(std::filesystem::path directory);
+  // `quarantine_keep` bounds how many `*.corrupt` quarantine files survive
+  // under the cache directory: opening the store keeps the newest N (by
+  // last-write time) and deletes the rest, so repeated fault-injection runs
+  // cannot grow the cache without bound. -1 (the default) reads
+  // SDD_QUARANTINE_KEEP (default 8); 0 keeps none.
+  explicit ExperimentCache(std::filesystem::path directory,
+                           std::int64_t quarantine_keep = -1);
 
   const std::filesystem::path& directory() const { return directory_; }
 
@@ -53,6 +59,7 @@ class ExperimentCache {
  private:
   void quarantine(const std::filesystem::path& path, const char* kind,
                   const char* reason) const;
+  void prune_quarantine(std::int64_t keep) const;
 
   std::filesystem::path directory_;
   mutable std::int64_t quarantined_ = 0;

@@ -2,6 +2,7 @@
 
 #include "nn/decode.hpp"
 #include "util/log.hpp"
+#include "util/supervisor.hpp"
 
 namespace sdd::core {
 
@@ -22,6 +23,7 @@ data::SftDataset self_distill_dataset(const nn::TransformerLM& seed_model,
   gen.stop_token = vocab.eos();
 
   for (std::size_t i = 0; i < dataset.examples.size(); ++i) {
+    supervisor::heartbeat();  // one teacher generation per example
     const data::SftExample& example = dataset.examples[i];
     ++local.total;
 

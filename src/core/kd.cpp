@@ -9,6 +9,7 @@
 #include "train/optim.hpp"
 #include "util/fault.hpp"
 #include "util/log.hpp"
+#include "util/supervisor.hpp"
 
 namespace sdd::core {
 namespace {
@@ -89,6 +90,7 @@ train::TrainStats kd_train(nn::TransformerLM& student,
       log_info("kd[", dataset.name, "] step ", step, "/", steps, " loss=", loss_value);
     }
     fault::on_train_step();
+    supervisor::heartbeat();
   }
   stats.final_loss = stats.losses.empty()
                          ? 0.0F

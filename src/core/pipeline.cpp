@@ -5,6 +5,7 @@
 #include "data/kb_gen.hpp"
 
 #include "util/env.hpp"
+#include "util/fault.hpp"
 #include "util/log.hpp"
 #include "util/serialize.hpp"
 
@@ -61,6 +62,25 @@ PipelineConfig PipelineConfig::standard() {
   config.pretrain.checkpoint_every = env_int("SDD_CKPT_EVERY", 500);
   config.sft.checkpoint_every = env_int("SDD_SFT_CKPT_EVERY", 25);
 
+  // Numeric-divergence guard policy shared by the pretrain and SFT loops
+  // (rollback to last snapshot on non-finite loss/exploding grad norm; see
+  // docs/robustness.md). SDD_NUMERIC_GUARD=0 disables.
+  const bool guard = env_int("SDD_NUMERIC_GUARD", 1) != 0;
+  const auto grad_limit =
+      static_cast<float>(env_double("SDD_GRAD_NORM_LIMIT", 1e8));
+  const std::int64_t max_rollbacks = env_int("SDD_MAX_ROLLBACKS", 2);
+  config.pretrain.numeric_guard = guard;
+  config.pretrain.grad_norm_limit = grad_limit;
+  config.pretrain.max_rollbacks = max_rollbacks;
+  config.sft.numeric_guard = guard;
+  config.sft.grad_norm_limit = grad_limit;
+  config.sft.max_rollbacks = max_rollbacks;
+
+  // Stage supervision (retry/backoff, deadline, hang watchdog) from
+  // SDD_RETRY_MAX / SDD_BACKOFF_MS / SDD_STAGE_DEADLINE_SEC /
+  // SDD_STAGE_HANG_SEC.
+  config.supervise = supervisor::SupervisorConfig::from_env();
+
   config.cache_dir = env_string("SDD_CACHE_DIR", "sdd_cache");
   return config;
 }
@@ -86,27 +106,38 @@ Pipeline::Pipeline(PipelineConfig config)
   if (config_.model.vocab_size == 0) {
     config_.model.vocab_size = data::Vocab::instance().size();
   }
+  // Forces SDD_FAULT parsing now: a malformed spec must abort before any
+  // stage runs, not minutes in at the first fault hook.
+  fault::enabled();
 }
 
 const nn::TransformerLM& Pipeline::base_model() {
   if (base_ != nullptr) return *base_;
   const std::uint64_t key = config_.base_key();
-  if (auto cached = cache_.load_model(key)) {
-    log_info("pipeline: loaded cached base model (key=", hash_hex(key), ")");
-    base_ = std::make_unique<nn::TransformerLM>(std::move(*cached));
-    return *base_;
-  }
-  log_info("pipeline: pre-training base model ", config_.model.to_string());
-  const std::vector<data::TokenId> stream =
-      data::build_pretraining_stream(world_, config_.corpus);
-  auto model = std::make_unique<nn::TransformerLM>(config_.model, config_.base_seed);
-  train::PretrainConfig pretrain_config = config_.pretrain;
-  pretrain_config.checkpoint_path = cache_.checkpoint_path(key);
-  const train::TrainStats stats = train::pretrain(*model, stream, pretrain_config);
-  log_info("pipeline: pre-training done, loss ", stats.initial_loss, " -> ",
-           stats.final_loss);
-  store_model_best_effort(key, *model, "base model");
-  base_ = std::move(model);
+  // The cache probe lives inside the supervised body so a retried attempt
+  // picks up whatever an interrupted predecessor managed to persist (e.g.
+  // a mid-run checkpoint after a watchdog abort).
+  base_ = supervisor::supervised(
+      "pretrain", config_.supervise,
+      [&]() -> std::unique_ptr<nn::TransformerLM> {
+        if (auto cached = cache_.load_model(key)) {
+          log_info("pipeline: loaded cached base model (key=", hash_hex(key), ")");
+          return std::make_unique<nn::TransformerLM>(std::move(*cached));
+        }
+        log_info("pipeline: pre-training base model ", config_.model.to_string());
+        const std::vector<data::TokenId> stream =
+            data::build_pretraining_stream(world_, config_.corpus);
+        auto model =
+            std::make_unique<nn::TransformerLM>(config_.model, config_.base_seed);
+        train::PretrainConfig pretrain_config = config_.pretrain;
+        pretrain_config.checkpoint_path = cache_.checkpoint_path(key);
+        const train::TrainStats stats =
+            train::pretrain(*model, stream, pretrain_config);
+        log_info("pipeline: pre-training done, loss ", stats.initial_loss, " -> ",
+                 stats.final_loss);
+        store_model_best_effort(key, *model, "base model");
+        return model;
+      });
   return *base_;
 }
 
@@ -132,8 +163,10 @@ const std::vector<std::vector<data::TokenId>>& Pipeline::calibration() {
 const PruneResult& Pipeline::prune(std::int64_t block_size) {
   const auto it = prune_results_.find(block_size);
   if (it != prune_results_.end()) return it->second;
-  PruneResult result =
-      prune_model(base_model(), calibration(), block_size, config_.metric);
+  PruneResult result = supervisor::supervised(
+      "prune", config_.supervise, [&]() -> PruneResult {
+        return prune_model(base_model(), calibration(), block_size, config_.metric);
+      });
   log_info("pipeline: prune n=", block_size, " -> layers [", result.start, ", ",
            result.start + block_size, "), distance=", result.distance);
   return prune_results_.emplace(block_size, std::move(result)).first->second;
@@ -152,20 +185,23 @@ data::SftDataset Pipeline::distilled_dataset(const std::string& name,
   key = hash_combine(key, fnv1a_value(config_.dataset_seed));
   key = hash_combine(key, config_.distill.hash());
   key = hash_combine(key, fnv1a("distilled-dataset"));
-  if (auto cached = cache_.load_dataset(key)) {
-    if (stats != nullptr) *stats = DistillStats{};  // stats only on fresh runs
-    return std::move(*cached);
-  }
-  const data::SftDataset raw = raw_dataset(name, size);
-  const data::SftDataset distilled =
-      self_distill_dataset(base_model(), raw, config_.distill, stats);
-  try {
-    cache_.store_dataset(key, distilled);
-  } catch (const SerializeError& e) {
-    log_warn("pipeline: failed to cache distilled dataset ", distilled.name,
-             ": ", e.what(), " — continuing uncached");
-  }
-  return distilled;
+  return supervisor::supervised(
+      "distill", config_.supervise, [&]() -> data::SftDataset {
+        if (auto cached = cache_.load_dataset(key)) {
+          if (stats != nullptr) *stats = DistillStats{};  // stats only on fresh runs
+          return std::move(*cached);
+        }
+        const data::SftDataset raw = raw_dataset(name, size);
+        const data::SftDataset distilled =
+            self_distill_dataset(base_model(), raw, config_.distill, stats);
+        try {
+          cache_.store_dataset(key, distilled);
+        } catch (const SerializeError& e) {
+          log_warn("pipeline: failed to cache distilled dataset ", distilled.name,
+                   ": ", e.what(), " — continuing uncached");
+        }
+        return distilled;
+      });
 }
 
 data::SftDataset Pipeline::replay_dataset(const std::string& name,
@@ -223,6 +259,9 @@ nn::TransformerLM Pipeline::recovered(std::int64_t block_size, FtMethod method,
   if (method == FtMethod::kNone) return prune(block_size).model.clone();
 
   const std::uint64_t key = recovered_key(block_size, method, dataset_name, size);
+  // Dataset construction (which may itself run the supervised "distill"
+  // stage) stays outside so the recover stage's deadline covers fine-tuning
+  // only, and nested stages keep distinct names in logs.
   if (auto cached = cache_.load_model(key)) return std::move(*cached);
 
   const auto make_dataset = [&]() -> data::SftDataset {
@@ -238,20 +277,27 @@ nn::TransformerLM Pipeline::recovered(std::int64_t block_size, FtMethod method,
   };
   const data::SftDataset dataset = make_dataset();
 
-  nn::TransformerLM model = prune(block_size).model.clone();
-  model.attach_lora(config_.lora, /*seed=*/key);
-  const bool use_kd =
-      method == FtMethod::kKd || method == FtMethod::kSelfDataDistillKd;
-  train::SftTrainConfig sft_config = config_.sft;
-  sft_config.checkpoint_path = cache_.checkpoint_path(key);
-  const train::TrainStats stats =
-      use_kd ? kd_train(model, base_model(), dataset, sft_config, config_.kd)
-             : train::sft_train(model, dataset, sft_config);
-  model.merge_lora();
-  log_info("pipeline: ", method_name(method), " on ", dataset.name, " n=", block_size,
-           " loss ", stats.initial_loss, " -> ", stats.final_loss);
-  store_model_best_effort(key, model, "recovered model");
-  return model;
+  return supervisor::supervised(
+      "recover:" + method_name(method), config_.supervise,
+      [&]() -> nn::TransformerLM {
+        if (auto cached = cache_.load_model(key)) return std::move(*cached);
+
+        nn::TransformerLM model = prune(block_size).model.clone();
+        model.attach_lora(config_.lora, /*seed=*/key);
+        const bool use_kd =
+            method == FtMethod::kKd || method == FtMethod::kSelfDataDistillKd;
+        train::SftTrainConfig sft_config = config_.sft;
+        sft_config.checkpoint_path = cache_.checkpoint_path(key);
+        const train::TrainStats stats =
+            use_kd ? kd_train(model, base_model(), dataset, sft_config, config_.kd)
+                   : train::sft_train(model, dataset, sft_config);
+        model.merge_lora();
+        log_info("pipeline: ", method_name(method), " on ", dataset.name,
+                 " n=", block_size, " loss ", stats.initial_loss, " -> ",
+                 stats.final_loss);
+        store_model_best_effort(key, model, "recovered model");
+        return model;
+      });
 }
 
 nn::TransformerLM Pipeline::merged(std::int64_t block_size, const std::string& dataset_a,

@@ -20,6 +20,7 @@
 #include "data/corpus.hpp"
 #include "data/world.hpp"
 #include "train/trainer.hpp"
+#include "util/supervisor.hpp"
 
 namespace sdd::core {
 
@@ -61,6 +62,13 @@ struct PipelineConfig {
   std::uint64_t base_seed = 7;     // weight init seed for pre-training
   std::filesystem::path cache_dir = "sdd_cache";
   std::uint64_t version = 1;       // bump to invalidate all cached artifacts
+
+  // Stage supervision policy (retry/backoff + watchdog; util/supervisor).
+  // standard() fills it from SDD_RETRY_MAX / SDD_BACKOFF_MS /
+  // SDD_STAGE_DEADLINE_SEC / SDD_STAGE_HANG_SEC. Never part of cache keys:
+  // supervision cannot change what a stage computes, only whether it
+  // survives faults.
+  supervisor::SupervisorConfig supervise;
 
   // Default scaled configuration used by all benches (see DESIGN.md §5).
   // Reads SDD_* environment overrides (SDD_LAYERS, SDD_DMODEL,

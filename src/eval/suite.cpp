@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "util/hash.hpp"
+#include "util/supervisor.hpp"
 
 namespace sdd::eval {
 
@@ -66,6 +67,7 @@ SuiteScores evaluate_suite(const nn::TransformerLM& model, const data::World& wo
   SuiteScores scores;
   double total = 0.0;
   for (const std::string& task : tasks) {
+    supervisor::heartbeat();  // liveness signal when run under a watchdog
     const TaskResult result = evaluate_named_task(model, world, task, spec);
     scores.tasks.emplace_back(task, result.accuracy);
     total += result.accuracy;

@@ -89,6 +89,15 @@ void AdamW::load_state(BinaryReader& reader) {
   v_ = std::move(v);
 }
 
+void AdamW::restore(const Snapshot& snap) {
+  if (snap.m.size() != m_.size() || snap.v.size() != v_.size()) {
+    throw std::invalid_argument("AdamW::restore: parameter count mismatch");
+  }
+  step_count_ = snap.step_count;
+  m_ = snap.m;
+  v_ = snap.v;
+}
+
 float cosine_lr(std::int64_t step, std::int64_t total_steps, std::int64_t warmup_steps,
                 float base_lr, float min_lr) {
   if (total_steps <= 0) throw std::invalid_argument("cosine_lr: total_steps <= 0");

@@ -52,6 +52,15 @@ class AdamW {
   void save_state(BinaryWriter& writer) const;
   void load_state(BinaryReader& reader);
 
+  // In-memory equivalent of save_state/load_state, used by the trainer's
+  // numeric-divergence rollback (no disk round-trip on the hot path).
+  struct Snapshot {
+    std::int64_t step_count = 0;
+    std::vector<std::vector<float>> m, v;
+  };
+  Snapshot snapshot() const { return Snapshot{step_count_, m_, v_}; }
+  void restore(const Snapshot& snap);
+
  private:
   nn::ParamList params_;
   AdamWConfig config_;

@@ -1,6 +1,7 @@
 #include "train/trainer.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 #include <optional>
 #include <stdexcept>
@@ -9,6 +10,7 @@
 #include "util/fault.hpp"
 #include "util/log.hpp"
 #include "util/serialize.hpp"
+#include "util/supervisor.hpp"
 
 namespace sdd::train {
 namespace {
@@ -133,6 +135,115 @@ void finish_checkpointing(const std::filesystem::path& path) {
   std::filesystem::remove(std::filesystem::path{path.string() + ".tmp"}, ec);
 }
 
+// ---- numeric-divergence guard ---------------------------------------------
+//
+// Detects a poisoned step (non-finite loss, non-finite or exploding gradient
+// norm) BEFORE the optimizer applies it, restores the loop to an in-memory
+// snapshot of (params, optimizer moments, RNG position), and lets the loop
+// replay. Replay is deterministic, so a transient divergence (one bad batch,
+// an injected NaN) converges to weights bit-identical to a run where it
+// never happened. A divergence that reproduces at the same step after
+// max_rollbacks replays is treated as persistent: the offending update is
+// skipped and the LR scale halved for the remainder of the run.
+
+// Snapshot cadence when disk checkpointing is off; the cadence never affects
+// final weights (replay is exact), only how much work a rollback repeats.
+constexpr std::int64_t kGuardSnapshotEvery = 16;
+
+class NumericGuard {
+ public:
+  NumericGuard(const char* loop, bool enabled, float grad_norm_limit,
+               std::int64_t max_rollbacks, std::int64_t snapshot_every)
+      : loop_{loop},
+        enabled_{enabled},
+        grad_norm_limit_{grad_norm_limit},
+        max_rollbacks_{max_rollbacks},
+        snapshot_every_{snapshot_every > 0 ? snapshot_every : kGuardSnapshotEvery} {}
+
+  bool enabled() const { return enabled_; }
+  float lr_scale() const { return lr_scale_; }
+  std::int64_t snapshot_step() const { return snap_step_; }
+
+  bool bad_loss(float loss) const { return enabled_ && !std::isfinite(loss); }
+
+  bool bad_grad_norm(float norm) const {
+    return enabled_ && (!std::isfinite(norm) ||
+                        (grad_norm_limit_ > 0.0F && norm > grad_norm_limit_));
+  }
+
+  void capture(std::int64_t step, const nn::ParamList& params,
+               const AdamW& optimizer, const Rng& rng) {
+    if (!enabled_) return;
+    snap_step_ = step;
+    snap_params_.clear();
+    snap_params_.reserve(params.size());
+    for (const nn::NamedParam& p : params) {
+      const auto data = p.tensor.data();
+      snap_params_.emplace_back(data.begin(), data.end());
+    }
+    snap_opt_ = optimizer.snapshot();
+    snap_rng_ = rng.state();
+  }
+
+  // Refresh the rolling snapshot on the cadence (called after step `step`
+  // completed, i.e. with `next` = step + 1, mirroring checkpoint saves).
+  void maybe_capture(std::int64_t next, const nn::ParamList& params,
+                     const AdamW& optimizer, const Rng& rng) {
+    if (enabled_ && next % snapshot_every_ == 0) {
+      capture(next, params, optimizer, rng);
+    }
+  }
+
+  // Handles a detected divergence at `step`. Returns true when the loop was
+  // rolled back (resume from snapshot_step()), false when the offending
+  // batch should be skipped instead.
+  bool handle_divergence(std::int64_t step, float loss, float grad_norm,
+                         nn::ParamList& params, AdamW& optimizer, Rng& rng,
+                         TrainStats& stats) {
+    if (step == last_diverged_step_) {
+      ++repeats_;
+    } else {
+      last_diverged_step_ = step;
+      repeats_ = 1;
+    }
+    if (repeats_ > max_rollbacks_) {
+      lr_scale_ *= 0.5F;
+      ++stats.skipped_batches;
+      ++stats.lr_halvings;
+      log_warn(loop_, ": persistent numeric divergence at step ", step,
+               " (loss=", loss, ", grad_norm=", grad_norm, ") after ",
+               repeats_ - 1, " rollback(s) — skipping batch, halving LR scale to ",
+               lr_scale_);
+      return false;
+    }
+    log_warn(loop_, ": numeric divergence at step ", step, " (loss=", loss,
+             ", grad_norm=", grad_norm, ") — rolling back to step ", snap_step_);
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      params[i].tensor.copy_from(snap_params_[i]);
+    }
+    optimizer.restore(snap_opt_);
+    rng.set_state(snap_rng_);
+    ++stats.rollbacks;
+    return true;
+  }
+
+ private:
+  const char* loop_;
+  bool enabled_;
+  float grad_norm_limit_;
+  std::int64_t max_rollbacks_;
+  std::int64_t snapshot_every_;
+
+  std::int64_t snap_step_ = 0;
+  std::vector<std::vector<float>> snap_params_;
+  AdamW::Snapshot snap_opt_;
+  Rng::State snap_rng_;
+
+  std::int64_t last_diverged_step_ = -1;
+  std::int64_t repeats_ = 0;
+  float lr_scale_ = 1.0F;
+};
+
 }  // namespace
 
 SftBatch pack_sft_batch(const std::vector<const data::SftExample*>& examples,
@@ -226,7 +337,12 @@ TrainStats pretrain(nn::TransformerLM& model, std::span<const data::TokenId> str
   std::vector<std::int32_t> targets(inputs.size());
   const std::vector<float> weights(inputs.size(), 1.0F);
 
-  for (std::int64_t step = start_step; step < config.steps; ++step) {
+  NumericGuard guard{"pretrain", config.numeric_guard, config.grad_norm_limit,
+                     config.max_rollbacks, config.checkpoint_every};
+  guard.capture(start_step, params, optimizer, rng);
+
+  std::int64_t step = start_step;
+  while (step < config.steps) {
     for (std::int64_t b = 0; b < config.batch_size; ++b) {
       const std::int64_t start = rng.uniform_int(0, max_start);
       for (std::int64_t t = 0; t < config.seq_len; ++t) {
@@ -237,13 +353,31 @@ TrainStats pretrain(nn::TransformerLM& model, std::span<const data::TokenId> str
     }
     const Tensor logits = model.forward(inputs, config.batch_size, config.seq_len);
     Tensor loss = ops::cross_entropy(logits, targets, weights);
-    const float loss_value = loss.item();
-    optimizer.zero_grad();
-    loss.backward();
-    optimizer.clip_gradients(config.clip_norm);
+    const float loss_value = fault::poison_loss(loss.item());
+    float grad_norm = 0.0F;
+    bool diverged = guard.bad_loss(loss_value);
+    if (!diverged) {
+      optimizer.zero_grad();
+      loss.backward();
+      grad_norm = optimizer.clip_gradients(config.clip_norm);
+      diverged = guard.bad_grad_norm(grad_norm);
+    }
+    if (diverged) {
+      if (guard.handle_divergence(step, loss_value, grad_norm, params,
+                                  optimizer, rng, stats)) {
+        stats.losses.resize(
+            static_cast<std::size_t>(guard.snapshot_step() - start_step));
+        step = guard.snapshot_step();
+      } else {
+        ++step;  // batch skipped, no update recorded
+      }
+      supervisor::heartbeat();
+      continue;
+    }
     const float lr =
         cosine_lr(step, config.steps, config.warmup_steps, config.optimizer.lr,
-                  config.optimizer.lr * config.min_lr_fraction);
+                  config.optimizer.lr * config.min_lr_fraction) *
+        guard.lr_scale();
     optimizer.step(lr);
 
     stats.losses.push_back(loss_value);
@@ -256,7 +390,10 @@ TrainStats pretrain(nn::TransformerLM& model, std::span<const data::TokenId> str
       save_checkpoint(config.checkpoint_path, fingerprint, step + 1, params,
                       optimizer, rng);
     }
+    guard.maybe_capture(step + 1, params, optimizer, rng);
     fault::on_train_step();
+    supervisor::heartbeat();
+    ++step;
   }
   if (checkpointing) finish_checkpointing(config.checkpoint_path);
   stats.final_loss = tail_mean(stats.losses);
@@ -298,7 +435,12 @@ TrainStats sft_train(nn::TransformerLM& model, const data::SftDataset& dataset,
     }
   }
 
-  for (std::int64_t step = start_step; step < steps; ++step) {
+  NumericGuard guard{"sft", config.numeric_guard, config.grad_norm_limit,
+                     config.max_rollbacks, config.checkpoint_every};
+  guard.capture(start_step, params, optimizer, rng);
+
+  std::int64_t step = start_step;
+  while (step < steps) {
     std::vector<const data::SftExample*> picked;
     picked.reserve(static_cast<std::size_t>(config.batch_size));
     for (std::int64_t b = 0; b < config.batch_size; ++b) {
@@ -308,12 +450,30 @@ TrainStats sft_train(nn::TransformerLM& model, const data::SftDataset& dataset,
         pack_sft_batch(picked, data::Vocab::instance().pad(), max_len);
 
     Tensor loss;
-    const float loss_value = sft_batch_loss(model, batch, &loss);
-    optimizer.zero_grad();
-    loss.backward();
-    optimizer.clip_gradients(config.clip_norm);
+    const float loss_value = fault::poison_loss(sft_batch_loss(model, batch, &loss));
+    float grad_norm = 0.0F;
+    bool diverged = guard.bad_loss(loss_value);
+    if (!diverged) {
+      optimizer.zero_grad();
+      loss.backward();
+      grad_norm = optimizer.clip_gradients(config.clip_norm);
+      diverged = guard.bad_grad_norm(grad_norm);
+    }
+    if (diverged) {
+      if (guard.handle_divergence(step, loss_value, grad_norm, params,
+                                  optimizer, rng, stats)) {
+        stats.losses.resize(
+            static_cast<std::size_t>(guard.snapshot_step() - start_step));
+        step = guard.snapshot_step();
+      } else {
+        ++step;  // batch skipped, no update recorded
+      }
+      supervisor::heartbeat();
+      continue;
+    }
     const float lr = cosine_lr(step, steps, config.warmup_steps, config.optimizer.lr,
-                               config.optimizer.lr * config.min_lr_fraction);
+                               config.optimizer.lr * config.min_lr_fraction) *
+                     guard.lr_scale();
     optimizer.step(lr);
 
     stats.losses.push_back(loss_value);
@@ -327,7 +487,10 @@ TrainStats sft_train(nn::TransformerLM& model, const data::SftDataset& dataset,
       save_checkpoint(config.checkpoint_path, fingerprint, step + 1, params,
                       optimizer, rng);
     }
+    guard.maybe_capture(step + 1, params, optimizer, rng);
     fault::on_train_step();
+    supervisor::heartbeat();
+    ++step;
   }
   if (checkpointing) finish_checkpointing(config.checkpoint_path);
   stats.final_loss = tail_mean(stats.losses);

@@ -17,6 +17,11 @@ struct TrainStats {
   std::vector<float> losses;       // loss at every step
   float initial_loss = 0.0F;
   float final_loss = 0.0F;         // mean over the last 10% of steps
+
+  // Numeric-divergence guard observability (see docs/robustness.md).
+  std::int64_t rollbacks = 0;        // snapshot restores after divergence
+  std::int64_t skipped_batches = 0;  // updates dropped after repeated rollbacks
+  std::int64_t lr_halvings = 0;      // LR-scale halvings after skips
 };
 
 // A packed fine-tuning batch: padded [prompt target] rows with next-token
@@ -52,6 +57,17 @@ struct PretrainConfig {
   // checkpointing never changes what is computed, only how it survives.
   std::filesystem::path checkpoint_path;
   std::int64_t checkpoint_every = 0;
+
+  // Numeric-divergence guard: a non-finite loss, or a pre-clip gradient norm
+  // that is non-finite or exceeds grad_norm_limit, restores the loop's last
+  // in-memory snapshot (taken on the checkpoint cadence) and replays. After
+  // max_rollbacks repeats at the same step the offending batch is skipped
+  // and the LR scale halved instead. Excluded from result-identity hashes:
+  // the guard changes nothing unless divergence actually fires, and a
+  // transient divergence replays to bit-identical weights.
+  bool numeric_guard = true;
+  float grad_norm_limit = 1e8F;   // <= 0 disables the norm check
+  std::int64_t max_rollbacks = 2;
 };
 
 TrainStats pretrain(nn::TransformerLM& model, std::span<const data::TokenId> stream,
@@ -72,6 +88,11 @@ struct SftTrainConfig {
   // part of hash() because they do not affect the trained weights.
   std::filesystem::path checkpoint_path;
   std::int64_t checkpoint_every = 0;
+
+  // See PretrainConfig: numeric-divergence rollback policy (not hashed).
+  bool numeric_guard = true;
+  float grad_norm_limit = 1e8F;
+  std::int64_t max_rollbacks = 2;
 
   std::uint64_t hash() const {
     std::uint64_t h = optimizer.hash();

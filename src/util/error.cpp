@@ -1,0 +1,37 @@
+#include "util/error.hpp"
+
+namespace sdd {
+
+std::string_view error_kind_name(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::kTransientIo:
+      return "transient_io";
+    case ErrorKind::kCorruptArtifact:
+      return "corrupt_artifact";
+    case ErrorKind::kNumericDivergence:
+      return "numeric_divergence";
+    case ErrorKind::kTimeout:
+      return "timeout";
+    case ErrorKind::kResourceExhausted:
+      return "resource_exhausted";
+    case ErrorKind::kFatal:
+      return "fatal";
+  }
+  return "unknown";
+}
+
+bool error_kind_retryable(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::kTransientIo:
+    case ErrorKind::kCorruptArtifact:
+    case ErrorKind::kTimeout:
+    case ErrorKind::kResourceExhausted:
+      return true;
+    case ErrorKind::kNumericDivergence:
+    case ErrorKind::kFatal:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace sdd

@@ -1,0 +1,48 @@
+// Typed error taxonomy for the self-healing pipeline.
+//
+// Every failure the supervision layer can see carries an ErrorKind that
+// decides how it is handled: transient faults (I/O hiccups, timeouts,
+// resource pressure) are retried with backoff, corrupt artifacts are
+// quarantined and recomputed, numeric divergence is handled inside the
+// training loop (rollback/skip), and fatal errors propagate immediately.
+// util/serialize, core/cache, and core/pipeline throw these instead of
+// ad-hoc exception types; util/supervisor consumes the classification.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace sdd {
+
+enum class ErrorKind {
+  kTransientIo,        // write/rename/fsync failure that a retry may clear
+  kCorruptArtifact,    // checksum/framing failure; quarantine + recompute
+  kNumericDivergence,  // non-finite loss or exploding gradients
+  kTimeout,            // stage deadline exceeded or watchdog-detected hang
+  kResourceExhausted,  // allocation/disk-space style pressure
+  kFatal,              // programming error or unrecoverable state
+};
+
+// Stable lower-snake-case name, e.g. "transient_io" (used in logs and docs).
+std::string_view error_kind_name(ErrorKind kind);
+
+// Whether the supervision layer should retry a stage that failed with this
+// kind. Numeric divergence is deliberately non-retryable at stage level: the
+// trainer's rollback policy already handled (or gave up on) it.
+bool error_kind_retryable(ErrorKind kind);
+
+class Error : public std::runtime_error {
+ public:
+  Error(ErrorKind kind, const std::string& message)
+      : std::runtime_error(std::string{error_kind_name(kind)} + ": " + message),
+        kind_{kind} {}
+
+  ErrorKind kind() const noexcept { return kind_; }
+  bool retryable() const noexcept { return error_kind_retryable(kind_); }
+
+ private:
+  ErrorKind kind_;
+};
+
+}  // namespace sdd

@@ -1,13 +1,18 @@
 #include "util/fault.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
+#include <limits>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "util/error.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
+#include "util/supervisor.hpp"
 
 namespace sdd::fault {
 namespace {
@@ -17,6 +22,7 @@ struct State {
   std::atomic<bool> armed{false};
   std::atomic<std::int64_t> train_steps{0};
   std::atomic<std::int64_t> io_commits{0};
+  std::atomic<std::int64_t> loss_checks{0};
   std::mutex rng_mutex;
   Rng rng{0};
 };
@@ -44,7 +50,14 @@ void init_from_env() {
       s.armed.store(config.any(), std::memory_order_release);
       if (config.any()) log_warn("fault: armed from SDD_FAULT=", spec);
     } catch (const std::invalid_argument& e) {
-      log_error("fault: ignoring malformed SDD_FAULT: ", e.what());
+      // A typo'd spec must not silently run the soak fault-free: fail fast
+      // with an actionable message instead.
+      log_error("fault: malformed SDD_FAULT='", spec, "': ", e.what(),
+                "\nfault: valid directives: io_fail:p=P, truncate_write, "
+                "crash_at_step:N, crash_at_io:N, hang_at_step:N, "
+                "nan_at_step:N, slow_io:ms=M, mode:throw|exit, seed:N "
+                "(comma-combined)");
+      std::exit(64);  // EX_USAGE
     }
   });
 }
@@ -120,6 +133,19 @@ FaultConfig parse_fault_spec(const std::string& spec) {
       config.crash_at_step = parse_int(arg, directive);
     } else if (name == "crash_at_io") {
       config.crash_at_io = parse_int(arg, directive);
+    } else if (name == "hang_at_step") {
+      config.hang_at_step = parse_int(arg, directive);
+    } else if (name == "nan_at_step") {
+      config.nan_at_step = parse_int(arg, directive);
+    } else if (name == "slow_io") {
+      // accepts "slow_io:ms=20" and "slow_io:20"
+      const std::string ms = arg.rfind("ms=", 0) == 0 ? arg.substr(3) : arg;
+      config.slow_io_ms = parse_int(ms, directive);
+      if (config.slow_io_ms < 0) {
+        throw std::invalid_argument("fault: negative delay in '" + directive + "'");
+      }
+    } else if (name == "hang_cap") {
+      config.hang_cap_ms = parse_int(arg, directive);
     } else if (name == "mode") {
       if (arg == "exit") {
         config.mode = CrashMode::kExit;
@@ -142,6 +168,7 @@ void configure(const FaultConfig& config) {
   s.config = config;
   s.train_steps.store(0, std::memory_order_relaxed);
   s.io_commits.store(0, std::memory_order_relaxed);
+  s.loss_checks.store(0, std::memory_order_relaxed);
   {
     const std::lock_guard<std::mutex> lock{s.rng_mutex};
     s.rng.reseed(config.seed);
@@ -163,6 +190,27 @@ void on_train_step() {
   if (s.config.crash_at_step >= 0 && step == s.config.crash_at_step) {
     crash("train_step", step);
   }
+  if (s.config.hang_at_step >= 0 && step == s.config.hang_at_step) {
+    log_warn("fault: hanging at train step ", step,
+             " (waiting for watchdog cancellation)");
+    const bool cancelled = supervisor::wait_for_cancellation(
+        std::chrono::milliseconds{s.config.hang_cap_ms});
+    throw Error(ErrorKind::kTimeout,
+                cancelled ? "injected hang aborted by watchdog at step " +
+                                std::to_string(step)
+                          : "injected hang expired unwatched at step " +
+                                std::to_string(step));
+  }
+}
+
+float poison_loss(float loss) {
+  if (!enabled()) return loss;
+  State& s = state();
+  if (s.config.nan_at_step < 0) return loss;
+  const std::int64_t check = s.loss_checks.fetch_add(1, std::memory_order_relaxed);
+  if (check != s.config.nan_at_step) return loss;
+  log_warn("fault: poisoning loss with NaN at loss check ", check);
+  return std::numeric_limits<float>::quiet_NaN();
 }
 
 bool should_fail_io(const std::filesystem::path& path) {
@@ -194,6 +242,15 @@ void on_io_commit(const std::filesystem::path& path) {
     log_error("fault: crashing during commit of ", path.string());
     crash("io_commit", commit);
   }
+}
+
+void io_delay(const std::filesystem::path& path) {
+  if (!enabled()) return;
+  State& s = state();
+  if (s.config.slow_io_ms <= 0) return;
+  log_debug("fault: delaying commit of ", path.string(), " by ",
+            s.config.slow_io_ms, " ms");
+  std::this_thread::sleep_for(std::chrono::milliseconds{s.config.slow_io_ms});
 }
 
 }  // namespace sdd::fault

@@ -13,12 +13,22 @@
 //   SDD_FAULT="crash_at_io:N"       die during the Nth artifact commit,
 //                                   after the temp file is durable but
 //                                   before the rename
+//   SDD_FAULT="hang_at_step:N"      stall the Nth training step: block until
+//                                   the supervisor watchdog cancels the stage
+//                                   (then throw Error{timeout}), or until a
+//                                   safety cap expires
+//   SDD_FAULT="nan_at_step:N"       poison the Nth training loss with NaN
+//                                   (own counter, one counted call per step)
+//   SDD_FAULT="slow_io:ms=M"        delay every artifact commit by M ms
 //   SDD_FAULT="mode:throw"          crash by throwing FaultCrash instead of
 //                                   _Exit(137) (for in-process tests)
 //   SDD_FAULT="seed:N"              seed for the io_fail coin
 //
 // Directives combine with commas: "io_fail:p=0.5,seed:7,mode:throw".
 // With nothing armed every hook is a cheap branch on an atomic flag.
+// A malformed SDD_FAULT value terminates the process with an actionable
+// message at the first instrumented operation — a soak run with a typo'd
+// spec must fail loudly, not silently run fault-free.
 #pragma once
 
 #include <cstdint>
@@ -43,12 +53,17 @@ struct FaultConfig {
   bool truncate_write = false;      // tear artifact commits
   std::int64_t crash_at_step = -1;  // die at this training step (-1 = never)
   std::int64_t crash_at_io = -1;    // die at this artifact commit (-1 = never)
+  std::int64_t hang_at_step = -1;   // stall at this training step (-1 = never)
+  std::int64_t nan_at_step = -1;    // poison this training loss (-1 = never)
+  std::int64_t slow_io_ms = 0;      // per-commit delay in milliseconds
+  std::int64_t hang_cap_ms = 60'000;  // safety cap for an unwatched hang
   CrashMode mode = CrashMode::kExit;
   std::uint64_t seed = 0x5DDFA017ULL;
 
   bool any() const {
     return io_fail_p > 0.0 || truncate_write || crash_at_step >= 0 ||
-           crash_at_io >= 0;
+           crash_at_io >= 0 || hang_at_step >= 0 || nan_at_step >= 0 ||
+           slow_io_ms > 0;
   }
 };
 
@@ -69,8 +84,15 @@ bool enabled();
 // ---- hook points ----------------------------------------------------------
 
 // Called by training loops once per completed optimizer step, after any
-// checkpoint write for that step. Handles crash_at_step.
+// checkpoint write for that step. Handles crash_at_step and hang_at_step
+// (the hang parks in supervisor::wait_for_cancellation and throws
+// Error{timeout} when the watchdog fires or the safety cap expires).
 void on_train_step();
+
+// Called by training loops on every computed loss value, before it is used.
+// Returns NaN on the armed nan_at_step call (its own counter, incremented
+// every call), the input unchanged otherwise.
+float poison_loss(float loss);
 
 // Called at the start of an artifact commit. Returns true when the commit
 // must fail; the caller throws SerializeError.
@@ -82,5 +104,8 @@ bool should_truncate_write(const std::filesystem::path& path);
 // Called mid-commit, after the temp file is durable but before the rename.
 // Handles crash_at_io.
 void on_io_commit(const std::filesystem::path& path);
+
+// Called at the start of an artifact commit; sleeps slow_io_ms when armed.
+void io_delay(const std::filesystem::path& path);
 
 }  // namespace sdd::fault

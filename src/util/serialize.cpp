@@ -39,7 +39,13 @@ class Fd {
 
 [[noreturn]] void throw_errno(const std::string& what,
                               const std::filesystem::path& path) {
-  throw SerializeError(what + " " + path.string() + ": " + std::strerror(errno));
+  // Write-path syscall failures are classified transient (retryable); disk
+  // exhaustion gets its own kind so callers can distinguish it.
+  const ErrorKind kind = errno == ENOSPC || errno == EDQUOT
+                             ? ErrorKind::kResourceExhausted
+                             : ErrorKind::kTransientIo;
+  throw SerializeError(what + " " + path.string() + ": " + std::strerror(errno),
+                       kind);
 }
 
 }  // namespace
@@ -74,8 +80,10 @@ void fsync_parent_dir(const std::filesystem::path& path) {
 }  // namespace detail
 
 void atomic_write_text(const std::filesystem::path& path, std::string_view text) {
+  fault::io_delay(path);
   if (fault::should_fail_io(path)) {
-    throw SerializeError("injected io failure writing " + path.string());
+    throw SerializeError("injected io failure writing " + path.string(),
+                         ErrorKind::kTransientIo);
   }
   const std::filesystem::path tmp{path.string() + ".tmp"};
   detail::write_file_durable(
@@ -87,7 +95,8 @@ void atomic_write_text(const std::filesystem::path& path, std::string_view text)
   std::filesystem::rename(tmp, path, ec);
   if (ec) {
     throw SerializeError("rename failure publishing " + path.string() + ": " +
-                         ec.message());
+                             ec.message(),
+                         ErrorKind::kTransientIo);
   }
   detail::fsync_parent_dir(path);
 }
@@ -135,8 +144,10 @@ void BinaryWriter::flush() {
   if (committed_) return;
   committed_ = true;
 
+  fault::io_delay(path_);
   if (fault::should_fail_io(path_)) {
-    throw SerializeError("injected io failure writing " + path_.string());
+    throw SerializeError("injected io failure writing " + path_.string(),
+                         ErrorKind::kTransientIo);
   }
 
   const std::uint64_t checksum = xxh64(std::string_view{buffer_});
@@ -167,7 +178,8 @@ void BinaryWriter::flush() {
   std::filesystem::rename(tmp, path_, ec);
   if (ec) {
     throw SerializeError("rename failure publishing " + path_.string() + ": " +
-                         ec.message());
+                             ec.message(),
+                         ErrorKind::kTransientIo);
   }
   detail::fsync_parent_dir(path_);
 }

@@ -23,11 +23,19 @@
 #include <type_traits>
 #include <vector>
 
+#include "util/error.hpp"
+
 namespace sdd {
 
-class SerializeError : public std::runtime_error {
+// Serialization failures carry the error taxonomy (util/error.hpp) so the
+// supervision layer can tell a retryable write hiccup (transient_io) from a
+// corrupt artifact that needs quarantine + recompute (corrupt_artifact, the
+// default: every read-side failure means the bytes on disk are bad).
+class SerializeError : public Error {
  public:
-  using std::runtime_error::runtime_error;
+  explicit SerializeError(const std::string& message,
+                          ErrorKind kind = ErrorKind::kCorruptArtifact)
+      : Error(kind, message) {}
 };
 
 // Footer layout (appended after the payload): 8-byte magic, u64 payload

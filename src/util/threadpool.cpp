@@ -80,10 +80,13 @@ void ThreadPool::worker_loop() {
     }
     run_range(task);
     {
+      // Notify while still holding done_mutex: the waiting caller owns the
+      // counter/cv on its stack and may destroy them the instant it observes
+      // remaining == 0, so the signal must complete before that can happen.
       const std::lock_guard<std::mutex> lock{*task.done_mutex};
       --*task.remaining;
+      task.done_cv->notify_one();
     }
-    task.done_cv->notify_one();
   }
 }
 

@@ -1,7 +1,11 @@
 // Durability-layer tests: checksummed artifacts, atomic commits, corrupt-
-// artifact quarantine, fault injection, and checkpoint/resume equivalence.
+// artifact quarantine, fault injection, checkpoint/resume equivalence, and
+// numeric-divergence rollback.
+#include <chrono>
+#include <cmath>
 #include <filesystem>
 #include <fstream>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -154,6 +158,35 @@ TEST_F(RobustnessTest, FaultSpecParsing) {
   EXPECT_THROW(fault::parse_fault_spec("mode:sideways"), std::invalid_argument);
 }
 
+TEST_F(RobustnessTest, FaultSpecParsingSupervisionDirectives) {
+  const fault::FaultConfig config = fault::parse_fault_spec(
+      "hang_at_step:9,nan_at_step:11,slow_io:ms=20,hang_cap:500");
+  EXPECT_EQ(config.hang_at_step, 9);
+  EXPECT_EQ(config.nan_at_step, 11);
+  EXPECT_EQ(config.slow_io_ms, 20);
+  EXPECT_EQ(config.hang_cap_ms, 500);
+  EXPECT_TRUE(config.any());
+
+  // slow_io accepts the bare-number shorthand too.
+  EXPECT_EQ(fault::parse_fault_spec("slow_io:7").slow_io_ms, 7);
+
+  // Partial or garbage specs must be rejected, not half-applied.
+  EXPECT_THROW(fault::parse_fault_spec("hang_at_step:"), std::invalid_argument);
+  EXPECT_THROW(fault::parse_fault_spec("hang_at_step"), std::invalid_argument);
+  EXPECT_THROW(fault::parse_fault_spec("nan_at_step:sometimes"),
+               std::invalid_argument);
+  EXPECT_THROW(fault::parse_fault_spec("slow_io:ms=-5"), std::invalid_argument);
+  EXPECT_THROW(fault::parse_fault_spec("slow_io:ms="), std::invalid_argument);
+  EXPECT_THROW(fault::parse_fault_spec("nan_at_step:4,bogus:1"),
+               std::invalid_argument);
+}
+
+TEST_F(RobustnessTest, EmptyAndDefaultSpecsStayDisarmed) {
+  EXPECT_FALSE(fault::parse_fault_spec("").any());
+  // mode/seed alone configure behavior but arm nothing.
+  EXPECT_FALSE(fault::parse_fault_spec("mode:throw,seed:5").any());
+}
+
 TEST_F(RobustnessTest, FailedCommitLeavesNoArtifact) {
   const ScopedLogLevel quiet{LogLevel::kError};
   const fs::path dir = temp_dir("sdd_robust_iofail");
@@ -298,6 +331,38 @@ TEST_F(CacheRobustnessTest, GarbageMetricIsACacheMiss) {
   spew(cache.metric_path(2), "not-a-number\n");
   EXPECT_EQ(cache.load_metric(2), std::nullopt);
   EXPECT_EQ(cache.quarantined_count(), 1);
+}
+
+TEST_F(CacheRobustnessTest, QuarantineCappedToNewestAtOpen) {
+  const ScopedLogLevel quiet{LogLevel::kError};
+  { core::ExperimentCache seed{dir_}; }  // create the directory layout
+
+  // Six quarantined artifacts with strictly increasing timestamps, spread
+  // over two subdirectories.
+  std::vector<fs::path> corrupt;
+  for (int i = 0; i < 6; ++i) {
+    const fs::path path = dir_ / (i % 2 == 0 ? "models" : "datasets") /
+                          ("artifact" + std::to_string(i) + ".bin.corrupt");
+    spew(path, "stale quarantined bytes");
+    fs::last_write_time(path, fs::file_time_type::clock::now() -
+                                  std::chrono::hours{6 - i});
+    corrupt.push_back(path);
+  }
+
+  // Reopening the store keeps only the 2 newest by mtime.
+  core::ExperimentCache cache{dir_, /*quarantine_keep=*/2};
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FALSE(fs::exists(corrupt[static_cast<std::size_t>(i)])) << i;
+  }
+  EXPECT_TRUE(fs::exists(corrupt[4]));
+  EXPECT_TRUE(fs::exists(corrupt[5]));
+
+  // keep=0 clears the quarantine entirely; non-corrupt files are untouched.
+  cache.store_metric(1, 0.5);
+  core::ExperimentCache wiped{dir_, /*quarantine_keep=*/0};
+  EXPECT_FALSE(fs::exists(corrupt[4]));
+  EXPECT_FALSE(fs::exists(corrupt[5]));
+  EXPECT_EQ(wiped.load_metric(1), 0.5);
 }
 
 // ---- checkpoint/resume -----------------------------------------------------
@@ -468,6 +533,133 @@ TEST_F(RobustnessTest, LoraSftResumeAfterCrashIsBitIdentical) {
 
   EXPECT_EQ(run(dir / "crash.ckpt"), reference);
   fs::remove_all(dir);
+}
+
+// ---- numeric-divergence guard ---------------------------------------------
+
+TEST_F(RobustnessTest, InjectedNanRollsBackToBitIdenticalWeights) {
+  const ScopedLogLevel quiet{LogLevel::kError};
+  const auto stream = synthetic_stream(600);
+  const nn::ModelConfig model_config = sdd::testing::tiny_real_vocab_config(2);
+
+  train::PretrainConfig config;
+  config.steps = 24;
+  config.batch_size = 2;
+  config.seq_len = 16;
+  config.warmup_steps = 3;
+  config.log_every = 0;
+  config.seed = 21;
+
+  // Clean reference.
+  nn::TransformerLM reference{model_config, 7};
+  const train::TrainStats ref_stats = train::pretrain(reference, stream, config);
+  EXPECT_EQ(ref_stats.rollbacks, 0);
+  EXPECT_EQ(ref_stats.skipped_batches, 0);
+
+  // Poison the loss once at step 5: the guard must restore the last snapshot
+  // and replay to weights bit-identical to the clean run.
+  fault::FaultConfig faults;
+  faults.nan_at_step = 5;
+  fault::configure(faults);
+  nn::TransformerLM poisoned{model_config, 7};
+  const train::TrainStats stats = train::pretrain(poisoned, stream, config);
+  fault::reset();
+
+  EXPECT_GE(stats.rollbacks, 1);
+  EXPECT_EQ(stats.skipped_batches, 0);
+  EXPECT_EQ(poisoned.weight_hash(), reference.weight_hash());
+  // The rollback also rewinds the loss log: one entry per step, no phantom
+  // NaN entries from the replayed window.
+  ASSERT_EQ(stats.losses.size(), static_cast<std::size_t>(config.steps));
+  for (float loss : stats.losses) EXPECT_TRUE(std::isfinite(loss));
+}
+
+TEST_F(RobustnessTest, PersistentDivergenceSkipsBatchAndHalvesLr) {
+  const ScopedLogLevel quiet{LogLevel::kError};
+  const auto stream = synthetic_stream(600);
+  const nn::ModelConfig model_config = sdd::testing::tiny_real_vocab_config(2);
+
+  train::PretrainConfig config;
+  config.steps = 12;
+  config.batch_size = 2;
+  config.seq_len = 16;
+  config.warmup_steps = 2;
+  config.log_every = 0;
+  config.seed = 21;
+  config.max_rollbacks = 0;  // first divergence is already "persistent"
+
+  fault::FaultConfig faults;
+  faults.nan_at_step = 4;
+  fault::configure(faults);
+  nn::TransformerLM model{model_config, 7};
+  const train::TrainStats stats = train::pretrain(model, stream, config);
+  fault::reset();
+
+  EXPECT_EQ(stats.rollbacks, 0);
+  EXPECT_EQ(stats.skipped_batches, 1);
+  EXPECT_EQ(stats.lr_halvings, 1);
+  // The run still completes with sane weights.
+  EXPECT_GT(model.param_count(), 0);
+  EXPECT_TRUE(std::isfinite(stats.final_loss));
+}
+
+TEST_F(RobustnessTest, GuardDisabledLeavesCleanRunUntouched) {
+  const ScopedLogLevel quiet{LogLevel::kError};
+  const auto stream = synthetic_stream(400);
+  const nn::ModelConfig model_config = sdd::testing::tiny_real_vocab_config(2);
+
+  train::PretrainConfig config;
+  config.steps = 10;
+  config.batch_size = 2;
+  config.seq_len = 16;
+  config.warmup_steps = 2;
+  config.log_every = 0;
+  config.seed = 21;
+
+  nn::TransformerLM guarded{model_config, 7};
+  train::pretrain(guarded, stream, config);
+
+  config.numeric_guard = false;
+  nn::TransformerLM unguarded{model_config, 7};
+  train::pretrain(unguarded, stream, config);
+  EXPECT_EQ(guarded.weight_hash(), unguarded.weight_hash());
+}
+
+TEST_F(RobustnessTest, SftInjectedNanRollsBackToBitIdenticalWeights) {
+  const ScopedLogLevel quiet{LogLevel::kError};
+  data::World world{321};
+  const data::SftDataset dataset = data::make_gsm8k_dataset(world, 24, 5);
+  const nn::ModelConfig model_config = sdd::testing::tiny_real_vocab_config(2);
+  const nn::TransformerLM base{model_config, 13};
+  nn::LoraConfig lora;
+  lora.rank = 2;
+
+  train::SftTrainConfig config;
+  config.epochs = 4;
+  config.max_steps = 14;
+  config.batch_size = 4;
+  config.warmup_steps = 2;
+
+  const auto run = [&](train::TrainStats* stats_out) {
+    nn::TransformerLM model = base.clone();
+    model.attach_lora(lora, /*seed=*/77);
+    const train::TrainStats stats = train::sft_train(model, dataset, config);
+    if (stats_out != nullptr) *stats_out = stats;
+    model.merge_lora();
+    return model.weight_hash();
+  };
+
+  const std::uint64_t reference = run(nullptr);
+
+  fault::FaultConfig faults;
+  faults.nan_at_step = 6;
+  fault::configure(faults);
+  train::TrainStats stats;
+  const std::uint64_t poisoned = run(&stats);
+  fault::reset();
+
+  EXPECT_GE(stats.rollbacks, 1);
+  EXPECT_EQ(poisoned, reference);
 }
 
 // ---- pipeline-level degradation -------------------------------------------
