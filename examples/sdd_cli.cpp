@@ -21,6 +21,7 @@
 #include "eval/flops.hpp"
 #include "eval/suite.hpp"
 #include "nn/decode.hpp"
+#include "util/error.hpp"
 #include "util/table.hpp"
 
 using namespace sdd;
@@ -221,6 +222,16 @@ int main(int argc, char** argv) {
     if (command == "info") return cmd_info(args);
     usage();
     return 2;
+  } catch (const sdd::Error& e) {
+    // Typed taxonomy failures map to stable per-kind exit codes (see
+    // util/error.hpp) so scripts can assert on the failure class: transient
+    // I/O 75, timeout 74, resource exhausted 69, corrupt artifact 65,
+    // numeric divergence 76, fatal 70. 64 stays reserved for malformed
+    // SDD_FAULT specs, 1 for exceptions outside the taxonomy.
+    // what() already leads with the kind name ("corrupt_artifact: ...").
+    std::fprintf(stderr, "error: %s%s\n", e.what(),
+                 e.retryable() ? " (retryable)" : "");
+    return sdd::error_kind_exit_code(e.kind());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -4,6 +4,10 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/error.hpp"
+#include "util/fault.hpp"
+#include "util/supervisor.hpp"
+
 namespace sdd::nn {
 namespace {
 
@@ -31,6 +35,12 @@ std::int32_t sample_with_temperature(std::span<const float> logits, float temper
 
 }  // namespace
 
+std::int32_t sample_token(std::span<const float> logits, float temperature,
+                          Rng& rng) {
+  return temperature <= 0.0F ? argmax(logits)
+                             : sample_with_temperature(logits, temperature, rng);
+}
+
 std::vector<std::int32_t> generate(const TransformerLM& model,
                                    std::span<const std::int32_t> prompt,
                                    const GenerateOptions& options) {
@@ -40,17 +50,21 @@ std::vector<std::int32_t> generate(const TransformerLM& model,
 
   auto state = model.make_decode_state();
   std::vector<float> logits;
-  for (std::int32_t token : prompt) logits = model.decode_step(state, token);
+  for (std::int32_t token : prompt) {
+    supervisor::heartbeat();
+    if (options.cancel.cancelled()) return {};
+    logits = model.decode_step(state, token);
+  }
 
   std::vector<std::int32_t> generated;
   const std::int64_t budget =
       std::min(options.max_new_tokens,
                model.config().max_seq_len - static_cast<std::int64_t>(prompt.size()));
   for (std::int64_t i = 0; i < budget; ++i) {
-    const std::int32_t next =
-        options.temperature <= 0.0F
-            ? argmax(logits)
-            : sample_with_temperature(logits, options.temperature, rng);
+    supervisor::heartbeat();
+    fault::on_decode_token();
+    if (options.cancel.cancelled()) break;
+    const std::int32_t next = sample_token(logits, options.temperature, rng);
     if (next == options.stop_token) break;
     generated.push_back(next);
     if (i + 1 < budget) logits = model.decode_step(state, next);
@@ -60,7 +74,8 @@ std::vector<std::int32_t> generate(const TransformerLM& model,
 
 double sequence_logprob(const TransformerLM& model,
                         std::span<const std::int32_t> prompt,
-                        std::span<const std::int32_t> continuation) {
+                        std::span<const std::int32_t> continuation,
+                        const CancelToken& cancel) {
   if (prompt.empty() || continuation.empty()) {
     throw std::invalid_argument("sequence_logprob: empty prompt or continuation");
   }
@@ -73,6 +88,11 @@ double sequence_logprob(const TransformerLM& model,
     throw std::invalid_argument("sequence_logprob: sequence exceeds context window");
   }
 
+  supervisor::heartbeat();
+  if (cancel.cancelled()) {
+    throw Error(ErrorKind::kTimeout,
+                std::string{"sequence_logprob: "} + cancel.reason());
+  }
   const Tensor logits = model.forward(ids, /*batch=*/1, /*seq=*/total);
   const std::int64_t vocab = model.config().vocab_size;
   const float* data = logits.data().data();
@@ -80,6 +100,11 @@ double sequence_logprob(const TransformerLM& model,
   double total_logprob = 0.0;
   const auto prompt_len = static_cast<std::int64_t>(prompt.size());
   for (std::int64_t pos = prompt_len - 1; pos < total - 1; ++pos) {
+    supervisor::heartbeat();
+    if (cancel.cancelled()) {
+      throw Error(ErrorKind::kTimeout,
+                  std::string{"sequence_logprob: "} + cancel.reason());
+    }
     const float* row = data + pos * vocab;
     const float max_logit = *std::max_element(row, row + vocab);
     double sum = 0.0;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "nn/transformer.hpp"
+#include "util/cancel.hpp"
 #include "util/rng.hpp"
 
 namespace sdd::nn {
@@ -15,19 +16,36 @@ struct GenerateOptions {
   float temperature = 0.0F;  // 0 => greedy argmax
   std::int32_t stop_token = -1;
   std::uint64_t seed = 1234;
+  // Cooperative cancellation / deadline. The default (empty) token costs a
+  // single null check per token; a real token is polled once per prompt and
+  // generated token, and generation returns the tokens produced so far when
+  // it reads as cancelled.
+  CancelToken cancel{};
 };
+
+// Pick the next token from a logits row: argmax when temperature <= 0,
+// softmax sampling at the given temperature otherwise. Shared by generate()
+// and the batched serving decode loop so both sample bit-identically.
+std::int32_t sample_token(std::span<const float> logits, float temperature,
+                          Rng& rng);
 
 // Feed `prompt` through the model and decode up to max_new_tokens more.
 // Returns ONLY the newly generated tokens; generation stops at stop_token
-// (which is not included) or at the model's context limit.
+// (which is not included), at the model's context limit, or early — with a
+// partial result — when options.cancel is cancelled or past its deadline.
+// Emits a supervisor heartbeat per token, so decodes running under a
+// supervised stage are covered by SDD_STAGE_HANG_SEC watchdogs.
 std::vector<std::int32_t> generate(const TransformerLM& model,
                                    std::span<const std::int32_t> prompt,
                                    const GenerateOptions& options);
 
 // Sum of log p(continuation | prompt) under the model, computed with one
-// batched forward. Used for multiple-choice scoring.
+// batched forward. Used for multiple-choice scoring. Throws Error{timeout}
+// when `cancel` is cancelled or past its deadline (a partial logprob would
+// be meaningless, so unlike generate() this cannot return partial work).
 double sequence_logprob(const TransformerLM& model,
                         std::span<const std::int32_t> prompt,
-                        std::span<const std::int32_t> continuation);
+                        std::span<const std::int32_t> continuation,
+                        const CancelToken& cancel = {});
 
 }  // namespace sdd::nn

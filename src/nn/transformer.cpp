@@ -5,6 +5,7 @@
 
 #include "tensor/kernels.hpp"
 #include "tensor/ops.hpp"
+#include "util/fault.hpp"
 #include "util/serialize.hpp"
 
 namespace sdd::nn {
@@ -72,6 +73,10 @@ TransformerLM::DecodeState TransformerLM::make_decode_state() const {
   state.caches.resize(blocks_.size());
   const auto cache_size =
       static_cast<std::size_t>(config_.max_seq_len * config_.d_model);
+  // Guarded allocation: one decode slot costs 2 * cache_size floats per
+  // layer; the alloc_fail injector can fail it with resource_exhausted so
+  // the serving layer's KV-budget degradation path is testable.
+  fault::on_alloc(blocks_.size() * 2 * cache_size * sizeof(float));
   // Pin the RoPE table for the whole session up front so per-token decode
   // steps never hit the table-cache mutex or trigger a rebuild.
   const auto rope = kernels::RopeTable::get(

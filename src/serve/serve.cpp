@@ -1,0 +1,571 @@
+#include "serve/serve.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/env.hpp"
+#include "util/fault.hpp"
+#include "util/log.hpp"
+
+namespace sdd::serve {
+
+using Clock = std::chrono::steady_clock;
+
+namespace detail {
+
+// Shared between the client-facing Ticket and the scheduler. Resolved
+// exactly once; `terminal` + cv is the only client synchronization point.
+struct Job {
+  Request request;
+  CancelToken cancel;
+  Clock::time_point submitted_at{};
+  Clock::time_point started_at{};
+  bool started = false;
+  bool degraded = false;
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool terminal = false;
+  Response response;
+};
+
+}  // namespace detail
+
+namespace {
+
+std::int64_t ms_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(to - from).count();
+}
+
+bool has_nonfinite(const std::vector<float>& logits) {
+  for (const float v : logits) {
+    if (!std::isfinite(v)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+// ---- config ----------------------------------------------------------------
+
+supervisor::SupervisorConfig ServerConfig::default_worker_config() {
+  supervisor::SupervisorConfig config;
+  // A serving worker recycles instead of dying: effectively unbounded
+  // retries with a short, capped backoff.
+  config.retry_max = 1'000'000'000;
+  config.backoff_ms = 1;
+  config.backoff_cap_ms = 50;
+  config.deadline_ms = 0;
+  config.hang_ms = 0;
+  return config;
+}
+
+ServerConfig ServerConfig::from_env() {
+  ServerConfig config;
+  config.queue_capacity = env_int("SDD_SERVE_QUEUE_CAP", config.queue_capacity);
+  config.max_batch = env_int("SDD_SERVE_MAX_BATCH", config.max_batch);
+  config.kv_budget_bytes = env_int("SDD_SERVE_KV_BUDGET_MB", 0) * (1 << 20);
+  config.default_deadline_ms =
+      env_int("SDD_SERVE_DEADLINE_MS", config.default_deadline_ms);
+  config.degrade_queue_depth =
+      env_int("SDD_SERVE_DEGRADE_DEPTH", config.degrade_queue_depth);
+  config.degrade_max_new_tokens =
+      env_int("SDD_SERVE_DEGRADE_MAX_TOKENS", config.degrade_max_new_tokens);
+  config.nan_guard = env_flag("SDD_SERVE_NAN_GUARD", config.nan_guard);
+  config.worker.hang_ms =
+      env_int("SDD_SERVE_HANG_MS", env_int("SDD_STAGE_HANG_SEC", 0) * 1000);
+  return config;
+}
+
+// ---- names -----------------------------------------------------------------
+
+std::string_view request_state_name(RequestState state) {
+  switch (state) {
+    case RequestState::kQueued:
+      return "queued";
+    case RequestState::kRunning:
+      return "running";
+    case RequestState::kCompleted:
+      return "completed";
+    case RequestState::kTimeout:
+      return "timeout";
+    case RequestState::kCancelled:
+      return "cancelled";
+    case RequestState::kShed:
+      return "shed";
+    case RequestState::kRejected:
+      return "rejected";
+    case RequestState::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+bool request_state_terminal(RequestState state) {
+  return state != RequestState::kQueued && state != RequestState::kRunning;
+}
+
+// ---- ticket ----------------------------------------------------------------
+
+const Response& Ticket::wait() {
+  std::unique_lock<std::mutex> lock{job_->mutex};
+  job_->cv.wait(lock, [this] { return job_->terminal; });
+  return job_->response;
+}
+
+bool Ticket::wait_for(std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock{job_->mutex};
+  return job_->cv.wait_for(lock, timeout, [this] { return job_->terminal; });
+}
+
+void Ticket::cancel() { job_->cancel.cancel(); }
+
+RequestState Ticket::state() const {
+  const std::lock_guard<std::mutex> lock{job_->mutex};
+  return job_->response.state;
+}
+
+// ---- server ----------------------------------------------------------------
+
+// One in-flight request: its own KV cache, RNG, and budget. The decode
+// sequence for a slot is exactly the one nn::generate would run, so a
+// request's output is bit-identical to an unloaded single-request decode
+// regardless of what else shares the batch.
+struct InferenceServer::ActiveSlot {
+  std::shared_ptr<detail::Job> job;
+  nn::TransformerLM::DecodeState state;
+  Rng rng{0};
+  std::vector<float> logits;
+  std::vector<std::int32_t> generated;
+  std::size_t prompt_fed = 0;
+  std::int64_t budget = 0;  // max generated tokens (degradation-clamped)
+};
+
+InferenceServer::InferenceServer(const nn::TransformerLM& model,
+                                 ServerConfig config)
+    : model_{model}, config_{std::move(config)} {
+  const nn::ModelConfig& mc = model_.config();
+  kv_slot_bytes_ = model_.n_layers() * 2 * mc.max_seq_len * mc.d_model *
+                   static_cast<std::int64_t>(sizeof(float));
+  kv_slot_limit_ = config_.kv_budget_bytes > 0
+                       ? std::max<std::int64_t>(
+                             1, config_.kv_budget_bytes / kv_slot_bytes_)
+                       : std::numeric_limits<std::int64_t>::max();
+  config_.queue_capacity = std::max<std::int64_t>(1, config_.queue_capacity);
+  config_.max_batch = std::max<std::int64_t>(1, config_.max_batch);
+  soft_limit_.store(config_.max_batch, std::memory_order_relaxed);
+  if (config_.start_worker) start();
+}
+
+InferenceServer::~InferenceServer() { shutdown(); }
+
+void InferenceServer::start() {
+  const std::lock_guard<std::mutex> lock{queue_mutex_};
+  if (worker_started_ || stopping_) return;
+  worker_started_ = true;
+  worker_ = std::thread{&InferenceServer::worker_main, this};
+}
+
+std::int64_t InferenceServer::kv_slot_bytes() const { return kv_slot_bytes_; }
+
+std::int64_t InferenceServer::current_batch_limit() const {
+  const std::int64_t soft = soft_limit_.load(std::memory_order_acquire);
+  return std::max<std::int64_t>(
+      1, std::min({config_.max_batch, kv_slot_limit_, soft}));
+}
+
+std::int64_t InferenceServer::queue_depth() const {
+  const std::lock_guard<std::mutex> lock{queue_mutex_};
+  return static_cast<std::int64_t>(queue_.size());
+}
+
+ServerStats InferenceServer::stats() const {
+  const std::lock_guard<std::mutex> lock{stats_mutex_};
+  return stats_;
+}
+
+TicketPtr InferenceServer::submit(Request request) {
+  auto job = std::make_shared<detail::Job>();
+  job->request = std::move(request);
+  job->submitted_at = Clock::now();
+  const std::int64_t deadline_ms = job->request.deadline_ms > 0
+                                       ? job->request.deadline_ms
+                                       : config_.default_deadline_ms;
+  job->cancel = deadline_ms > 0 ? CancelToken::with_deadline(
+                                      std::chrono::milliseconds{deadline_ms})
+                                : CancelToken::make();
+  TicketPtr ticket{new Ticket{job}};
+  {
+    const std::lock_guard<std::mutex> lock{stats_mutex_};
+    ++stats_.submitted;
+  }
+
+  const auto prompt_len = static_cast<std::int64_t>(job->request.prompt.size());
+  if (prompt_len == 0) {
+    resolve(*job, RequestState::kRejected, ErrorKind::kFatal, "empty prompt");
+    return ticket;
+  }
+  if (prompt_len >= model_.config().max_seq_len) {
+    resolve(*job, RequestState::kRejected, ErrorKind::kFatal,
+            "prompt exceeds context window");
+    return ticket;
+  }
+
+  std::shared_ptr<detail::Job> shed_victim;
+  bool rejected_full = false;
+  bool rejected_stopping = false;
+  {
+    const std::lock_guard<std::mutex> lock{queue_mutex_};
+    if (stopping_) {
+      rejected_stopping = true;
+    } else if (static_cast<std::int64_t>(queue_.size()) >=
+               config_.queue_capacity) {
+      // Overload: shed the lowest-priority queued request when the newcomer
+      // strictly outranks it, otherwise reject the newcomer. Either way the
+      // loser gets a typed, retryable resource_exhausted error and the
+      // queue never grows past capacity.
+      auto victim = std::min_element(
+          queue_.begin(), queue_.end(), [](const auto& a, const auto& b) {
+            return a->request.priority < b->request.priority;
+          });
+      if (victim != queue_.end() &&
+          (*victim)->request.priority < job->request.priority) {
+        shed_victim = *victim;
+        queue_.erase(victim);
+        queue_.push_back(job);
+      } else {
+        rejected_full = true;
+      }
+    } else {
+      queue_.push_back(job);
+    }
+  }
+  if (shed_victim) {
+    resolve(*shed_victim, RequestState::kShed, ErrorKind::kResourceExhausted,
+            "shed in favor of a higher-priority request; retry later");
+  }
+  if (rejected_full) {
+    resolve(*job, RequestState::kRejected, ErrorKind::kResourceExhausted,
+            "queue full (capacity " + std::to_string(config_.queue_capacity) +
+                "); retry later");
+  } else if (rejected_stopping) {
+    resolve(*job, RequestState::kRejected, ErrorKind::kResourceExhausted,
+            "server shutting down");
+  } else {
+    queue_cv_.notify_one();
+  }
+  return ticket;
+}
+
+void InferenceServer::shutdown() {
+  {
+    const std::lock_guard<std::mutex> lock{queue_mutex_};
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+  // Without a worker (start() never ran, or it died) nothing drains the
+  // queue; resolve leftovers so no client blocks forever.
+  std::deque<std::shared_ptr<detail::Job>> leftover;
+  {
+    const std::lock_guard<std::mutex> lock{queue_mutex_};
+    leftover.swap(queue_);
+  }
+  for (const auto& job : leftover) {
+    resolve(*job, RequestState::kCancelled, std::nullopt,
+            "server stopped before the request ran");
+  }
+}
+
+void InferenceServer::resolve(detail::Job& job, RequestState state,
+                              std::optional<ErrorKind> error,
+                              std::string message,
+                              std::vector<std::int32_t> tokens) {
+  {
+    const std::lock_guard<std::mutex> lock{job.mutex};
+    if (job.terminal) return;
+    const Clock::time_point now = Clock::now();
+    job.response.state = state;
+    job.response.tokens = std::move(tokens);
+    job.response.error = error;
+    job.response.retryable = error.has_value() && error_kind_retryable(*error);
+    job.response.degraded = job.degraded;
+    job.response.message = std::move(message);
+    job.response.queue_ms = ms_between(
+        job.submitted_at, job.started ? job.started_at : now);
+    job.response.decode_ms = job.started ? ms_between(job.started_at, now) : 0;
+    // Stats must be current before the client unblocks: a caller returning
+    // from Ticket::wait() may read stats() immediately. Lock order is
+    // job.mutex -> stats_mutex_, never the reverse.
+    {
+      const std::lock_guard<std::mutex> stats_lock{stats_mutex_};
+      switch (state) {
+        case RequestState::kCompleted:
+          ++stats_.completed;
+          break;
+        case RequestState::kTimeout:
+          ++stats_.timed_out;
+          break;
+        case RequestState::kCancelled:
+          ++stats_.cancelled;
+          break;
+        case RequestState::kShed:
+          ++stats_.shed;
+          break;
+        case RequestState::kRejected:
+          ++stats_.rejected;
+          break;
+        case RequestState::kFailed:
+          ++stats_.failed;
+          break;
+        case RequestState::kQueued:
+        case RequestState::kRunning:
+          break;
+      }
+    }
+    job.terminal = true;
+  }
+  job.cv.notify_all();
+}
+
+void InferenceServer::worker_main() {
+  try {
+    supervisor::run_stage("serve.worker", config_.worker,
+                          [this] { schedule_loop(); });
+  } catch (const Error& e) {
+    log_error("serve: worker stage unrecoverable (", e.what(),
+              "); failing in-flight requests");
+    drain_all(e.kind(), e.what());
+  } catch (const std::exception& e) {
+    log_error("serve: worker died on foreign exception (", e.what(),
+              "); failing in-flight requests");
+    drain_all(ErrorKind::kFatal, e.what());
+  }
+}
+
+// Last-resort teardown when the worker cannot continue: every in-flight and
+// queued request resolves with a typed error so no client blocks forever.
+void InferenceServer::drain_all(ErrorKind kind, const std::string& message) {
+  for (auto& slot : active_) {
+    resolve(*slot.job, RequestState::kFailed, kind, message,
+            std::move(slot.generated));
+  }
+  active_.clear();
+  std::deque<std::shared_ptr<detail::Job>> pending;
+  {
+    // The server is dead from here on: later submits get a typed rejection
+    // instead of queueing behind a worker that no longer exists.
+    const std::lock_guard<std::mutex> lock{queue_mutex_};
+    stopping_ = true;
+    pending.swap(queue_);
+  }
+  for (const auto& job : pending) {
+    resolve(*job, RequestState::kFailed, kind, message);
+  }
+}
+
+void InferenceServer::schedule_loop() {
+  while (true) {
+    supervisor::heartbeat();
+    admit_jobs();
+    if (!step_slots()) {
+      std::unique_lock<std::mutex> lock{queue_mutex_};
+      if (queue_.empty() && active_.empty()) {
+        if (stopping_) return;
+        // Idle: park briefly, re-heartbeating each wake so an armed hang
+        // watchdog never mistakes an empty server for a hung one.
+        queue_cv_.wait_for(lock, std::chrono::milliseconds{20});
+      }
+    }
+  }
+}
+
+void InferenceServer::admit_jobs() {
+  while (static_cast<std::int64_t>(active_.size()) < current_batch_limit()) {
+    std::shared_ptr<detail::Job> job;
+    std::int64_t depth_behind = 0;
+    {
+      const std::lock_guard<std::mutex> lock{queue_mutex_};
+      if (queue_.empty()) return;
+      job = queue_.front();
+      queue_.pop_front();
+      depth_behind = static_cast<std::int64_t>(queue_.size());
+    }
+    if (job->cancel.cancelled()) {
+      const bool explicit_cancel =
+          std::string_view{job->cancel.reason()} == "cancelled";
+      resolve(*job,
+              explicit_cancel ? RequestState::kCancelled : RequestState::kTimeout,
+              explicit_cancel ? std::nullopt
+                              : std::optional<ErrorKind>{ErrorKind::kTimeout},
+              explicit_cancel ? "cancelled while queued"
+                              : "deadline expired while queued");
+      continue;
+    }
+
+    ActiveSlot slot;
+    slot.job = job;
+    try {
+      // Guarded allocation (util/fault alloc_fail; real allocators can throw
+      // here too): failure shrinks the admissible batch instead of crashing.
+      slot.state = model_.make_decode_state();
+    } catch (const Error& e) {
+      if (e.kind() == ErrorKind::kResourceExhausted) {
+        const auto floor_limit =
+            std::max<std::int64_t>(1, static_cast<std::int64_t>(active_.size()));
+        soft_limit_.store(floor_limit, std::memory_order_release);
+        log_warn("serve: decode-slot allocation failed (", e.what(),
+                 "); batch limit lowered to ", floor_limit);
+        if (!active_.empty()) {
+          // Capacity frees as running slots retire; put the request back at
+          // the head and try again then.
+          const std::lock_guard<std::mutex> lock{queue_mutex_};
+          queue_.push_front(job);
+          return;
+        }
+        resolve(*job, RequestState::kRejected, e.kind(), e.what());
+        continue;
+      }
+      resolve(*job, RequestState::kFailed, e.kind(), e.what());
+      continue;
+    } catch (const std::exception& e) {
+      resolve(*job, RequestState::kFailed, ErrorKind::kFatal, e.what());
+      continue;
+    }
+
+    const nn::ModelConfig& mc = model_.config();
+    const auto prompt_len =
+        static_cast<std::int64_t>(job->request.prompt.size());
+    std::int64_t max_new = job->request.max_new_tokens;
+    const std::int64_t watermark = config_.degrade_queue_depth > 0
+                                       ? config_.degrade_queue_depth
+                                       : (config_.queue_capacity * 3) / 4;
+    if (watermark > 0 && depth_behind >= watermark &&
+        config_.degrade_max_new_tokens > 0 &&
+        max_new > config_.degrade_max_new_tokens) {
+      max_new = config_.degrade_max_new_tokens;
+      job->degraded = true;
+      const std::lock_guard<std::mutex> lock{stats_mutex_};
+      ++stats_.degraded;
+    }
+    slot.budget = std::min(max_new, mc.max_seq_len - prompt_len);
+    slot.rng = Rng{job->request.seed};
+    {
+      const std::lock_guard<std::mutex> lock{job->mutex};
+      job->started = true;
+      job->started_at = Clock::now();
+      job->response.state = RequestState::kRunning;
+    }
+    active_.push_back(std::move(slot));
+    {
+      const std::lock_guard<std::mutex> lock{stats_mutex_};
+      stats_.peak_active = std::max(
+          stats_.peak_active, static_cast<std::int64_t>(active_.size()));
+    }
+  }
+}
+
+void InferenceServer::retire_slot(std::size_t index, RequestState state,
+                                  std::optional<ErrorKind> error,
+                                  std::string message) {
+  ActiveSlot slot = std::move(active_[index]);
+  active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(index));
+  if (state == RequestState::kCompleted) {
+    // Successful retirements walk the allocation-failure soft limit back up
+    // toward the configured batch size.
+    const std::int64_t soft = soft_limit_.load(std::memory_order_acquire);
+    if (soft < config_.max_batch) {
+      soft_limit_.store(soft + 1, std::memory_order_release);
+    }
+  }
+  resolve(*slot.job, state, error, std::move(message),
+          std::move(slot.generated));
+}
+
+bool InferenceServer::step_slots() {
+  if (active_.empty()) return false;
+  for (std::size_t i = 0; i < active_.size();) {
+    ActiveSlot& slot = active_[i];
+    detail::Job& job = *slot.job;
+
+    // Token-boundary cancellation: deadline expiry or a client abandon
+    // frees the slot with the partial output.
+    if (job.cancel.cancelled()) {
+      const bool explicit_cancel =
+          std::string_view{job.cancel.reason()} == "cancelled";
+      retire_slot(i,
+                  explicit_cancel ? RequestState::kCancelled
+                                  : RequestState::kTimeout,
+                  explicit_cancel ? std::nullopt
+                                  : std::optional<ErrorKind>{ErrorKind::kTimeout},
+                  explicit_cancel ? "cancelled mid-generation"
+                                  : "deadline expired mid-generation");
+      continue;
+    }
+
+    try {
+      supervisor::heartbeat();
+      fault::on_decode_token();
+      if (slot.prompt_fed < job.request.prompt.size()) {
+        // Prefill, one prompt token per round so a long prompt cannot
+        // starve the rest of the batch.
+        slot.logits = model_.decode_step(
+            slot.state, job.request.prompt[slot.prompt_fed]);
+        ++slot.prompt_fed;
+      } else if (static_cast<std::int64_t>(slot.generated.size()) >=
+                 slot.budget) {
+        retire_slot(i, RequestState::kCompleted, std::nullopt, "");
+        continue;
+      } else {
+        // This mirrors nn::generate token for token (same RNG draws, same
+        // decode_step sequence), so outputs are bit-identical to an
+        // unloaded single-request decode.
+        const std::int32_t next = nn::sample_token(
+            slot.logits, job.request.temperature, slot.rng);
+        if (next == job.request.stop_token) {
+          retire_slot(i, RequestState::kCompleted, std::nullopt, "");
+          continue;
+        }
+        slot.generated.push_back(next);
+        if (static_cast<std::int64_t>(slot.generated.size()) >= slot.budget) {
+          retire_slot(i, RequestState::kCompleted, std::nullopt, "");
+          continue;
+        }
+        slot.logits = model_.decode_step(slot.state, next);
+      }
+      if (fault::should_poison_logits() && !slot.logits.empty()) {
+        slot.logits[0] = std::numeric_limits<float>::quiet_NaN();
+      }
+      if (config_.nan_guard && has_nonfinite(slot.logits)) {
+        retire_slot(i, RequestState::kFailed, ErrorKind::kNumericDivergence,
+                    "non-finite logits during decode");
+        continue;
+      }
+    } catch (const Error& e) {
+      if (e.kind() == ErrorKind::kTimeout &&
+          supervisor::cancellation_requested()) {
+        // The hang watchdog cancelled the worker stage while this slot was
+        // stepping: fail the hung request, then unwind so the supervisor
+        // recycles the stage (fresh cancellation context); the surviving
+        // slots are member state and continue on the next attempt.
+        retire_slot(i, RequestState::kFailed, ErrorKind::kTimeout,
+                    std::string{"decode hung; worker recycled: "} + e.what());
+        {
+          const std::lock_guard<std::mutex> lock{stats_mutex_};
+          ++stats_.worker_recycles;
+        }
+        throw;
+      }
+      retire_slot(i, RequestState::kFailed, e.kind(), e.what());
+      continue;
+    } catch (const std::exception& e) {
+      retire_slot(i, RequestState::kFailed, ErrorKind::kFatal, e.what());
+      continue;
+    }
+    ++i;
+  }
+  return true;
+}
+
+}  // namespace sdd::serve

@@ -1,0 +1,224 @@
+// Fault-tolerant batched inference serving for a (pruned) TransformerLM.
+//
+// InferenceServer wraps a const model behind a bounded request queue and a
+// single scheduler thread that continuously batches admitted requests: each
+// in-flight request owns a decode slot (its own KV cache, RNG, and token
+// budget) and the scheduler interleaves one decode_step per slot per round,
+// so many requests share the weights while one slow request never blocks the
+// rest for more than a token. Per-request determinism is preserved — a
+// request's output depends only on its prompt, seed, and options, never on
+// what else is in the batch.
+//
+// Robustness model (see docs/serving.md for the full degradation ladder):
+//  * Admission control: the queue has a hard capacity. When it is full a new
+//    request is rejected with a typed, retryable resource_exhausted error —
+//    unless a strictly lower-priority queued request can be shed in its
+//    favor (the shed request resolves with the same typed error).
+//  * KV budget: SDD_SERVE_KV_BUDGET_MB caps the memory of concurrent decode
+//    slots; the admissible batch size shrinks to fit instead of OOMing, and
+//    an injected/real allocation failure (Error{resource_exhausted}) during
+//    slot creation shrinks it further at runtime.
+//  * Deadlines and cancellation: every request carries a CancelToken;
+//    expiry or a client cancel() frees the slot at the next token boundary.
+//  * Overload degradation: past a queue-depth watermark, new admissions get
+//    their max_new_tokens clamped (response marked `degraded`) so the queue
+//    drains faster; outputs stay a prefix of the unloaded-server output.
+//  * Worker supervision: the scheduler runs under util/supervisor with the
+//    PR-3 heartbeat hang watchdog. A hung decode step is cancelled by the
+//    watchdog, the hung request fails with a typed timeout, and the worker
+//    stage is recycled with the surviving slots intact.
+//  * NaN guard: non-finite logits fail that request with a typed
+//    numeric_divergence error instead of emitting garbage tokens.
+//
+// Every submitted request terminates with a response or a typed error; the
+// server itself never throws out of the scheduler and never grows unbounded.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "nn/decode.hpp"
+#include "nn/transformer.hpp"
+#include "util/cancel.hpp"
+#include "util/error.hpp"
+#include "util/supervisor.hpp"
+
+namespace sdd::serve {
+
+struct ServerConfig {
+  std::int64_t queue_capacity = 64;   // hard cap on queued (not yet running)
+  std::int64_t max_batch = 8;         // max concurrent decode slots
+  std::int64_t kv_budget_bytes = 0;   // cap on summed KV-slot bytes; 0 = off
+  std::int64_t default_deadline_ms = 0;  // applied when a request has none
+  std::int64_t degrade_queue_depth = 0;  // watermark; 0 = 3/4 of capacity
+  std::int64_t degrade_max_new_tokens = 16;  // clamp applied past watermark
+  bool nan_guard = true;              // fail requests on non-finite logits
+  bool start_worker = true;           // test seam: false = call start() later
+
+  // Supervision for the scheduler stage: effectively unbounded retries with
+  // a short backoff (a serving worker must recycle, not die), plus the
+  // heartbeat hang watchdog. from_env() wires SDD_SERVE_HANG_MS (default:
+  // SDD_STAGE_HANG_SEC * 1000) into worker.hang_ms.
+  supervisor::SupervisorConfig worker = default_worker_config();
+
+  static supervisor::SupervisorConfig default_worker_config();
+  // SDD_SERVE_QUEUE_CAP, SDD_SERVE_MAX_BATCH, SDD_SERVE_KV_BUDGET_MB,
+  // SDD_SERVE_DEADLINE_MS, SDD_SERVE_DEGRADE_DEPTH,
+  // SDD_SERVE_DEGRADE_MAX_TOKENS, SDD_SERVE_NAN_GUARD, SDD_SERVE_HANG_MS.
+  static ServerConfig from_env();
+};
+
+// Terminal states carry a response; kQueued/kRunning are transient.
+enum class RequestState {
+  kQueued,
+  kRunning,
+  kCompleted,  // full generation (possibly degraded-clamped)
+  kTimeout,    // deadline expired; response holds the partial tokens
+  kCancelled,  // client cancel() or server shutdown before completion
+  kShed,       // evicted from the queue in favor of a higher-priority request
+  kRejected,   // refused at admission (queue full / allocation failure)
+  kFailed,     // decode error: hung worker, NaN logits, ...
+};
+
+std::string_view request_state_name(RequestState state);
+bool request_state_terminal(RequestState state);
+
+struct Request {
+  std::vector<std::int32_t> prompt;
+  std::int64_t max_new_tokens = 48;
+  float temperature = 0.0F;  // 0 => greedy argmax
+  std::int32_t stop_token = -1;
+  std::uint64_t seed = 1234;
+  std::int32_t priority = 0;     // higher survives overload longer
+  std::int64_t deadline_ms = 0;  // 0 = server default (which may be none)
+};
+
+struct Response {
+  RequestState state = RequestState::kQueued;
+  std::vector<std::int32_t> tokens;        // complete, or partial on timeout
+  std::optional<ErrorKind> error;          // set for non-completed states
+                                           // (client cancellation carries none)
+  bool retryable = false;                  // error_kind_retryable(*error)
+  bool degraded = false;                   // token budget clamped by overload
+  std::string message;
+  std::int64_t queue_ms = 0;
+  std::int64_t decode_ms = 0;
+};
+
+namespace detail {
+struct Job;
+}
+
+// Client-side handle to a submitted request. Resolved exactly once.
+class Ticket {
+ public:
+  // Blocks until the request reaches a terminal state.
+  const Response& wait();
+  // Returns false if the request is still pending after `timeout`.
+  bool wait_for(std::chrono::milliseconds timeout);
+  // Cooperative client abandon: the slot is freed at the next token
+  // boundary and the ticket resolves with kCancelled.
+  void cancel();
+  RequestState state() const;
+
+ private:
+  friend class InferenceServer;
+  explicit Ticket(std::shared_ptr<detail::Job> job) : job_{std::move(job)} {}
+  std::shared_ptr<detail::Job> job_;
+};
+
+using TicketPtr = std::shared_ptr<Ticket>;
+
+struct ServerStats {
+  std::int64_t submitted = 0;
+  std::int64_t completed = 0;
+  std::int64_t timed_out = 0;
+  std::int64_t cancelled = 0;
+  std::int64_t shed = 0;
+  std::int64_t rejected = 0;
+  std::int64_t failed = 0;
+  std::int64_t degraded = 0;         // admissions with a clamped budget
+  std::int64_t worker_recycles = 0;  // supervisor stage restarts
+  std::int64_t peak_active = 0;      // max concurrent decode slots observed
+
+  std::int64_t resolved() const {
+    return completed + timed_out + cancelled + shed + rejected + failed;
+  }
+};
+
+class InferenceServer {
+ public:
+  // The model must outlive the server and is shared const across requests.
+  InferenceServer(const nn::TransformerLM& model, ServerConfig config);
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  // Never throws for overload: a rejected/shed request resolves its ticket
+  // immediately with a typed resource_exhausted error instead.
+  TicketPtr submit(Request request);
+
+  // Spawns the scheduler thread when the config deferred it (test seam).
+  void start();
+  // Stops accepting new requests, drains everything in flight (every
+  // accepted request still resolves), and joins the scheduler. Idempotent;
+  // also run by the destructor.
+  void shutdown();
+
+  ServerStats stats() const;
+
+  // Bytes of KV cache one decode slot pins (all layers, full context).
+  std::int64_t kv_slot_bytes() const;
+  // Current admissible batch size: min(max_batch, KV-budget slots, and the
+  // runtime soft limit lowered by allocation failures).
+  std::int64_t current_batch_limit() const;
+
+ private:
+  struct ActiveSlot;
+
+  void worker_main();
+  void schedule_loop();
+  void admit_jobs();
+  bool step_slots();  // returns false when there was nothing to do
+  void resolve(detail::Job& job, RequestState state,
+               std::optional<ErrorKind> error, std::string message,
+               std::vector<std::int32_t> tokens = {});
+  void retire_slot(std::size_t index, RequestState state,
+                   std::optional<ErrorKind> error, std::string message);
+  void drain_all(ErrorKind kind, const std::string& message);
+  std::int64_t queue_depth() const;
+
+  const nn::TransformerLM& model_;
+  ServerConfig config_;
+  std::int64_t kv_slot_bytes_ = 0;
+  std::int64_t kv_slot_limit_ = 0;  // from kv_budget_bytes; INT64_MAX = off
+
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<std::shared_ptr<detail::Job>> queue_;
+  bool stopping_ = false;
+
+  // Owned by the scheduler thread; member (not stack) state so decode slots
+  // survive a supervisor stage recycle after a hung step.
+  std::vector<ActiveSlot> active_;
+  std::atomic<std::int64_t> soft_limit_{0};  // lowered on allocation failure
+
+  mutable std::mutex stats_mutex_;
+  ServerStats stats_;
+
+  std::thread worker_;
+  bool worker_started_ = false;
+};
+
+}  // namespace sdd::serve

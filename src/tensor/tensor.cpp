@@ -4,6 +4,8 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "util/fault.hpp"
+
 namespace sdd {
 namespace {
 thread_local bool g_autograd_enabled = true;
@@ -42,9 +44,13 @@ void TensorImpl::ensure_grad() {
 }
 
 Tensor::Tensor(Shape shape, bool requires_grad) {
+  const auto numel = static_cast<std::size_t>(shape_numel(shape));
+  // Guarded allocation: the alloc_fail fault injector can turn this into a
+  // typed resource_exhausted failure to exercise degradation paths.
+  fault::on_alloc(numel * sizeof(float));
   impl_ = std::make_shared<TensorImpl>();
   impl_->shape = std::move(shape);
-  impl_->data.assign(static_cast<std::size_t>(shape_numel(impl_->shape)), 0.0F);
+  impl_->data.assign(numel, 0.0F);
   impl_->requires_grad = requires_grad;
 }
 

@@ -1,0 +1,88 @@
+// Cooperative cancellation and deadline propagation for long-running work.
+//
+// A CancelToken is a cheap copyable handle to shared cancellation state.
+// Producers hand one to a worker (a decode loop, a serving request) and flip
+// it with cancel(); the worker polls cancelled() at natural progress points
+// (once per generated token) and winds down. A token may also carry a
+// wall-clock deadline, in which case cancelled() starts returning true once
+// the deadline passes — no timer thread involved, expiry is observed at the
+// next poll.
+//
+// The default-constructed token is *empty*: it owns no state, never cancels,
+// and cancelled() is a single null check, so threading a token through an
+// API costs nothing for callers that do not use it (nn::generate takes one
+// this way).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+namespace sdd {
+
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  // Empty token: never cancels, zero-cost to poll.
+  CancelToken() = default;
+
+  // Cancellable token with no deadline.
+  static CancelToken make() { return CancelToken{Clock::time_point::max()}; }
+
+  // Token that auto-cancels once `budget` has elapsed from now.
+  static CancelToken with_deadline(std::chrono::milliseconds budget) {
+    return CancelToken{Clock::now() + budget};
+  }
+
+  bool valid() const noexcept { return state_ != nullptr; }
+
+  // Requests cancellation. Thread-safe; no-op on an empty token.
+  void cancel() noexcept {
+    if (state_) state_->cancelled.store(true, std::memory_order_release);
+  }
+
+  // True once cancel() was called or the deadline passed. Empty tokens are
+  // never cancelled.
+  bool cancelled() const noexcept {
+    if (!state_) return false;
+    if (state_->cancelled.load(std::memory_order_acquire)) return true;
+    return state_->deadline != Clock::time_point::max() &&
+           Clock::now() >= state_->deadline;
+  }
+
+  bool has_deadline() const noexcept {
+    return state_ && state_->deadline != Clock::time_point::max();
+  }
+  Clock::time_point deadline() const noexcept {
+    return state_ ? state_->deadline : Clock::time_point::max();
+  }
+
+  // Why the token reads as cancelled: "cancelled" for an explicit cancel(),
+  // "deadline exceeded" for expiry, "" when not cancelled. An explicit
+  // cancel wins when both apply.
+  const char* reason() const noexcept {
+    if (!state_) return "";
+    if (state_->cancelled.load(std::memory_order_acquire)) return "cancelled";
+    if (state_->deadline != Clock::time_point::max() &&
+        Clock::now() >= state_->deadline) {
+      return "deadline exceeded";
+    }
+    return "";
+  }
+
+ private:
+  struct State {
+    std::atomic<bool> cancelled{false};
+    Clock::time_point deadline = Clock::time_point::max();
+  };
+
+  explicit CancelToken(Clock::time_point deadline)
+      : state_{std::make_shared<State>()} {
+    state_->deadline = deadline;
+  }
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace sdd

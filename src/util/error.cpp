@@ -34,4 +34,22 @@ bool error_kind_retryable(ErrorKind kind) {
   return false;
 }
 
+int error_kind_exit_code(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::kTransientIo:
+      return 75;  // EX_TEMPFAIL
+    case ErrorKind::kCorruptArtifact:
+      return 65;  // EX_DATAERR
+    case ErrorKind::kNumericDivergence:
+      return 76;
+    case ErrorKind::kTimeout:
+      return 74;
+    case ErrorKind::kResourceExhausted:
+      return 69;  // EX_UNAVAILABLE
+    case ErrorKind::kFatal:
+      return 70;  // EX_SOFTWARE
+  }
+  return 70;
+}
+
 }  // namespace sdd

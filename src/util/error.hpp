@@ -32,6 +32,14 @@ std::string_view error_kind_name(ErrorKind kind);
 // trainer's rollback policy already handled (or gave up on) it.
 bool error_kind_retryable(ErrorKind kind);
 
+// Stable process exit code for a failure of this kind, sysexits-inspired so
+// soak scripts can assert on the failure *class* instead of grepping stderr:
+// transient_io 75 (EX_TEMPFAIL), timeout 74, resource_exhausted 69
+// (EX_UNAVAILABLE), corrupt_artifact 65 (EX_DATAERR), numeric_divergence 76,
+// fatal 70 (EX_SOFTWARE). 64 (EX_USAGE) stays reserved for malformed
+// SDD_FAULT specs, 1 for non-taxonomy exceptions, 2 for CLI usage errors.
+int error_kind_exit_code(ErrorKind kind);
+
 class Error : public std::runtime_error {
  public:
   Error(ErrorKind kind, const std::string& message)

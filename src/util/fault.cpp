@@ -23,6 +23,9 @@ struct State {
   std::atomic<std::int64_t> train_steps{0};
   std::atomic<std::int64_t> io_commits{0};
   std::atomic<std::int64_t> loss_checks{0};
+  std::atomic<std::int64_t> allocs{0};
+  std::atomic<std::int64_t> decode_tokens{0};
+  std::atomic<std::int64_t> logit_checks{0};
   std::mutex rng_mutex;
   Rng rng{0};
 };
@@ -55,7 +58,8 @@ void init_from_env() {
       log_error("fault: malformed SDD_FAULT='", spec, "': ", e.what(),
                 "\nfault: valid directives: io_fail:p=P, truncate_write, "
                 "crash_at_step:N, crash_at_io:N, hang_at_step:N, "
-                "nan_at_step:N, slow_io:ms=M, mode:throw|exit, seed:N "
+                "nan_at_step:N, slow_io:ms=M, alloc_fail:at=N, "
+                "hang_decode:N, nan_decode:N, mode:throw|exit, seed:N "
                 "(comma-combined)");
       std::exit(64);  // EX_USAGE
     }
@@ -144,6 +148,14 @@ FaultConfig parse_fault_spec(const std::string& spec) {
       if (config.slow_io_ms < 0) {
         throw std::invalid_argument("fault: negative delay in '" + directive + "'");
       }
+    } else if (name == "alloc_fail") {
+      // accepts "alloc_fail:at=3" and "alloc_fail:3"
+      const std::string at = arg.rfind("at=", 0) == 0 ? arg.substr(3) : arg;
+      config.alloc_fail_at = parse_int(at, directive);
+    } else if (name == "hang_decode") {
+      config.hang_decode = parse_int(arg, directive);
+    } else if (name == "nan_decode") {
+      config.nan_decode = parse_int(arg, directive);
     } else if (name == "hang_cap") {
       config.hang_cap_ms = parse_int(arg, directive);
     } else if (name == "mode") {
@@ -169,6 +181,9 @@ void configure(const FaultConfig& config) {
   s.train_steps.store(0, std::memory_order_relaxed);
   s.io_commits.store(0, std::memory_order_relaxed);
   s.loss_checks.store(0, std::memory_order_relaxed);
+  s.allocs.store(0, std::memory_order_relaxed);
+  s.decode_tokens.store(0, std::memory_order_relaxed);
+  s.logit_checks.store(0, std::memory_order_relaxed);
   {
     const std::lock_guard<std::mutex> lock{s.rng_mutex};
     s.rng.reseed(config.seed);
@@ -251,6 +266,48 @@ void io_delay(const std::filesystem::path& path) {
   log_debug("fault: delaying commit of ", path.string(), " by ",
             s.config.slow_io_ms, " ms");
   std::this_thread::sleep_for(std::chrono::milliseconds{s.config.slow_io_ms});
+}
+
+void on_alloc(std::size_t bytes) {
+  if (!enabled()) return;
+  State& s = state();
+  if (s.config.alloc_fail_at < 0) return;
+  const std::int64_t alloc = s.allocs.fetch_add(1, std::memory_order_relaxed);
+  if (alloc != s.config.alloc_fail_at) return;
+  log_warn("fault: failing guarded allocation #", alloc, " (", bytes, " bytes)");
+  throw Error(ErrorKind::kResourceExhausted,
+              "injected allocation failure at guarded allocation #" +
+                  std::to_string(alloc) + " (" + std::to_string(bytes) +
+                  " bytes)");
+}
+
+void on_decode_token() {
+  if (!enabled()) return;
+  State& s = state();
+  if (s.config.hang_decode < 0) return;
+  const std::int64_t token =
+      s.decode_tokens.fetch_add(1, std::memory_order_relaxed);
+  if (token != s.config.hang_decode) return;
+  log_warn("fault: hanging at decode token ", token,
+           " (waiting for watchdog cancellation)");
+  const bool cancelled = supervisor::wait_for_cancellation(
+      std::chrono::milliseconds{s.config.hang_cap_ms});
+  throw Error(ErrorKind::kTimeout,
+              cancelled ? "injected decode hang aborted by watchdog at token " +
+                              std::to_string(token)
+                        : "injected decode hang expired unwatched at token " +
+                              std::to_string(token));
+}
+
+bool should_poison_logits() {
+  if (!enabled()) return false;
+  State& s = state();
+  if (s.config.nan_decode < 0) return false;
+  const std::int64_t check =
+      s.logit_checks.fetch_add(1, std::memory_order_relaxed);
+  if (check != s.config.nan_decode) return false;
+  log_warn("fault: poisoning decode logits with NaN at token ", check);
+  return true;
 }
 
 }  // namespace sdd::fault

@@ -20,6 +20,14 @@
 //   SDD_FAULT="nan_at_step:N"       poison the Nth training loss with NaN
 //                                   (own counter, one counted call per step)
 //   SDD_FAULT="slow_io:ms=M"        delay every artifact commit by M ms
+//   SDD_FAULT="alloc_fail:at=N"     the Nth guarded tensor/KV-cache
+//                                   allocation throws Error{resource_
+//                                   exhausted} (counter starts at 0)
+//   SDD_FAULT="hang_decode:N"       stall the Nth decode token: block until
+//                                   a watchdog cancels the enclosing stage,
+//                                   then throw Error{timeout}
+//   SDD_FAULT="nan_decode:N"        poison the logits of the Nth decode
+//                                   token with NaN (serving NaN-guard path)
 //   SDD_FAULT="mode:throw"          crash by throwing FaultCrash instead of
 //                                   _Exit(137) (for in-process tests)
 //   SDD_FAULT="seed:N"              seed for the io_fail coin
@@ -56,6 +64,9 @@ struct FaultConfig {
   std::int64_t hang_at_step = -1;   // stall at this training step (-1 = never)
   std::int64_t nan_at_step = -1;    // poison this training loss (-1 = never)
   std::int64_t slow_io_ms = 0;      // per-commit delay in milliseconds
+  std::int64_t alloc_fail_at = -1;  // fail this guarded allocation (-1 = never)
+  std::int64_t hang_decode = -1;    // stall at this decode token (-1 = never)
+  std::int64_t nan_decode = -1;     // poison this decode token's logits
   std::int64_t hang_cap_ms = 60'000;  // safety cap for an unwatched hang
   CrashMode mode = CrashMode::kExit;
   std::uint64_t seed = 0x5DDFA017ULL;
@@ -63,7 +74,8 @@ struct FaultConfig {
   bool any() const {
     return io_fail_p > 0.0 || truncate_write || crash_at_step >= 0 ||
            crash_at_io >= 0 || hang_at_step >= 0 || nan_at_step >= 0 ||
-           slow_io_ms > 0;
+           slow_io_ms > 0 || alloc_fail_at >= 0 || hang_decode >= 0 ||
+           nan_decode >= 0;
   }
 };
 
@@ -107,5 +119,21 @@ void on_io_commit(const std::filesystem::path& path);
 
 // Called at the start of an artifact commit; sleeps slow_io_ms when armed.
 void io_delay(const std::filesystem::path& path);
+
+// Called by guarded allocation sites (Tensor construction, decode KV-cache
+// slots) with the requested byte count. Throws Error{resource_exhausted} on
+// the armed alloc_fail_at call (its own counter, one count per call).
+void on_alloc(std::size_t bytes);
+
+// Called once per decode token by nn::generate and the serving decode loop.
+// Handles hang_decode exactly like on_train_step handles hang_at_step: the
+// hang parks in supervisor::wait_for_cancellation and throws Error{timeout}
+// when a watchdog fires or the safety cap expires.
+void on_decode_token();
+
+// Called once per decode token on the freshly computed logits. Returns true
+// on the armed nan_decode call (its own counter); the caller poisons its
+// logits with NaN so the serving NaN guard can be exercised end to end.
+bool should_poison_logits();
 
 }  // namespace sdd::fault
