@@ -7,11 +7,23 @@
 //                    --size 1600 [--out model.bin]
 //   sdd_cli merge    --a a.bin --b b.bin [--t 0.5] [--mode slerp|lerp] --out m.bin
 //   sdd_cli eval     --model model.bin [--suite core|openllm] [--items 60]
+//                    [--out digest.txt]
 //   sdd_cli generate --model model.bin --prompt "q : what does the cat say ?"
 //   sdd_cli info     --model model.bin
+//   sdd_cli fleet-worker --dir <queue dir> --worker <id>   (internal: spawned
+//                    by the fleet orchestrator, not meant to be run by hand)
 //
 // Pipeline-backed subcommands (pretrain/prune/distill/recover) share the
 // sdd_cache/ experiment cache with the benches.
+//
+// Fleet mode: SDD_FLEET_WORKERS=N > 0 makes `eval` (and `distill
+// --datasets a,b,...`) fan out across N worker processes through the
+// crash-tolerant work queue (src/fleet). Off by default; results are
+// byte-identical either way.
+//
+// SIGTERM/SIGINT request a graceful shutdown: in-flight stages observe the
+// flag at their next heartbeat, unwind with Error{interrupted}, and the
+// process exits 72 (a second signal hard-exits 128+signo immediately).
 #include <cstdio>
 #include <map>
 #include <string>
@@ -20,8 +32,11 @@
 #include "core/pipeline.hpp"
 #include "eval/flops.hpp"
 #include "eval/suite.hpp"
+#include "fleet/stages.hpp"
 #include "nn/decode.hpp"
 #include "util/error.hpp"
+#include "util/serialize.hpp"
+#include "util/signals.hpp"
 #include "util/table.hpp"
 
 using namespace sdd;
@@ -99,6 +114,32 @@ int cmd_prune(const Args& args) {
 
 int cmd_distill(const Args& args) {
   core::Pipeline pipeline{core::PipelineConfig::standard()};
+  // --datasets a,b,c runs a grid of distillation cells, through the fleet
+  // when SDD_FLEET_WORKERS > 0 (one worker process per in-flight cell).
+  const auto grid_it = args.find("datasets");
+  if (grid_it != args.end()) {
+    std::vector<std::pair<std::string, std::int64_t>> cells;
+    const std::int64_t size = arg_int(args, "size", 800);
+    std::string list = grid_it->second;
+    std::size_t begin = 0;
+    while (begin <= list.size()) {
+      const std::size_t end = list.find(',', begin);
+      const std::string name =
+          list.substr(begin, end == std::string::npos ? end : end - begin);
+      if (!name.empty()) cells.emplace_back(name, size);
+      if (end == std::string::npos) break;
+      begin = end + 1;
+    }
+    fleet::FleetStats stats;
+    const auto datasets = fleet::run_distill_grid(
+        pipeline, cells, fleet::FleetConfig::from_env(), &stats);
+    for (const auto& dataset : datasets) {
+      std::printf("distilled dataset '%s': %zu examples\n",
+                  dataset.name.c_str(), dataset.examples.size());
+    }
+    std::printf("fleet: %s\n", stats.to_string().c_str());
+    return 0;
+  }
   core::DistillStats stats;
   const data::SftDataset distilled = pipeline.distilled_dataset(
       arg_or(args, "dataset", "openmathinstruct"), arg_int(args, "size", 800), &stats);
@@ -155,7 +196,14 @@ int cmd_eval(const Args& args) {
   const auto& tasks = arg_or(args, "suite", "core") == "openllm"
                           ? eval::openllm_v1_tasks()
                           : eval::core_tasks();
-  const auto scores = eval::evaluate_suite(model, pipeline.world(), tasks, spec);
+  // run_eval_suite IS evaluate_suite when the fleet is off; with
+  // SDD_FLEET_WORKERS > 0 the cells run in worker processes and the
+  // assembled scores are byte-identical to the serial run.
+  const fleet::FleetConfig fleet_config = fleet::FleetConfig::from_env();
+  fleet::FleetStats fleet_stats;
+  const auto scores = fleet::run_eval_suite(
+      model, pipeline.world(), tasks, spec, fleet_config,
+      pipeline.cache().directory() / "fleet", &fleet_stats);
   TablePrinter table{{"task", "accuracy"}};
   for (const auto& [task, accuracy] : scores.tasks) {
     table.add_row({task, format_float(accuracy * 100.0)});
@@ -163,7 +211,26 @@ int cmd_eval(const Args& args) {
   table.add_separator();
   table.add_row({"average", format_float(scores.average * 100.0)});
   std::printf("%s", table.to_ascii().c_str());
+  if (fleet_config.enabled()) {
+    std::printf("fleet: %s\n", fleet_stats.to_string().c_str());
+  }
+  // The canonical digest lets soak scripts byte-compare a fleet run against
+  // a serial run without parsing the human-facing table.
+  const std::string out = arg_or(args, "out", "");
+  if (!out.empty()) {
+    atomic_write_text(out, eval::format_suite_digest(scores));
+    std::printf("digest written to %s\n", out.c_str());
+  }
   return 0;
+}
+
+int cmd_fleet_worker(const Args& args) {
+  fleet::FleetConfig config = fleet::FleetConfig::from_env();
+  config.lease_ms = arg_int(args, "lease", config.lease_ms);
+  config.task_retry = arg_int(args, "retry", config.task_retry);
+  config.poll_ms = arg_int(args, "poll", config.poll_ms);
+  return fleet::worker_main(args.at("dir"), arg_or(args, "worker", "w0"),
+                            config, fleet::execute_task);
 }
 
 int cmd_generate(const Args& args) {
@@ -198,7 +265,8 @@ int cmd_info(const Args& args) {
 
 void usage() {
   std::printf(
-      "usage: sdd_cli <pretrain|prune|distill|recover|merge|eval|generate|info> "
+      "usage: sdd_cli "
+      "<pretrain|prune|distill|recover|merge|eval|generate|info|fleet-worker> "
       "[--flag value ...]\n(see the header comment of examples/sdd_cli.cpp)\n");
 }
 
@@ -209,6 +277,9 @@ int main(int argc, char** argv) {
     usage();
     return 2;
   }
+  // First SIGTERM/SIGINT flips a flag observed at the next heartbeat (exit
+  // 72 after a clean unwind); a second one hard-exits 128+signo.
+  signals::install_graceful_shutdown();
   const std::string command = argv[1];
   try {
     const Args args = parse_args(argc, argv, 2);
@@ -220,14 +291,16 @@ int main(int argc, char** argv) {
     if (command == "eval") return cmd_eval(args);
     if (command == "generate") return cmd_generate(args);
     if (command == "info") return cmd_info(args);
+    if (command == "fleet-worker") return cmd_fleet_worker(args);
     usage();
     return 2;
   } catch (const sdd::Error& e) {
     // Typed taxonomy failures map to stable per-kind exit codes (see
     // util/error.hpp) so scripts can assert on the failure class: transient
     // I/O 75, timeout 74, resource exhausted 69, corrupt artifact 65,
-    // numeric divergence 76, fatal 70. 64 stays reserved for malformed
-    // SDD_FAULT specs, 1 for exceptions outside the taxonomy.
+    // numeric divergence 76, worker lost 71, interrupted 72, fatal 70. 64
+    // stays reserved for malformed SDD_FAULT specs, 1 for exceptions
+    // outside the taxonomy.
     // what() already leads with the kind name ("corrupt_artifact: ...").
     std::fprintf(stderr, "error: %s%s\n", e.what(),
                  e.retryable() ? " (retryable)" : "");

@@ -64,34 +64,39 @@ report() { # name ok
   fi
 }
 
-run_soak() { # cache-dir digest-out [fault-spec]
-  local cache="$1" digest="$2" fault="${3:-}"
+# The driver runs directly (no pipeline, no /dev/null) so its exit code is
+# what we test; output goes to a per-case log that is dumped on failure.
+run_soak() { # cache-dir digest-out log-file [fault-spec]
+  local cache="$1" digest="$2" log="$3" fault="${4:-}"
   if [[ -n "${fault}" ]]; then
     SDD_CACHE_DIR="${cache}" SDD_SOAK_OUT="${digest}" SDD_FAULT="${fault}" \
-      "${SOAK}" >/dev/null 2>&1
+      "${SOAK}" >"${log}" 2>&1
   else
-    SDD_CACHE_DIR="${cache}" SDD_SOAK_OUT="${digest}" "${SOAK}" >/dev/null 2>&1
+    SDD_CACHE_DIR="${cache}" SDD_SOAK_OUT="${digest}" "${SOAK}" >"${log}" 2>&1
   fi
 }
 
 echo "== reference run (no faults)"
 REF="${WORK}/reference.txt"
-run_soak "${WORK}/cache_ref" "${REF}"
+run_soak "${WORK}/cache_ref" "${REF}" "${WORK}/reference.log"
 [[ -s "${REF}" ]] || { echo "fault_soak: reference run produced no digest" >&2; exit 2; }
 
 check_case() { # name fault-spec expect-crash
   local name="$1" fault="$2" expect_crash="$3"
   local cache="${WORK}/cache_${name}" digest="${WORK}/digest_${name}.txt"
+  local log="${WORK}/${name}.log"
   echo "== ${name} (SDD_FAULT=${fault})"
 
-  local crashed=ok
-  if run_soak "${cache}" "${digest}" "${fault}"; then
+  local crashed=ok rc=0
+  run_soak "${cache}" "${digest}" "${log}" "${fault}" || rc=$?
+  if [[ "${rc}" -eq 0 ]]; then
     [[ "${expect_crash}" == yes ]] && crashed=bad
   else
     [[ "${expect_crash}" == no ]] && crashed=bad
   fi
   if [[ "${crashed}" == bad ]]; then
-    echo "   unexpected exit status under fault (expect_crash=${expect_crash})"
+    echo "   unexpected exit ${rc} under fault (expect_crash=${expect_crash}); last log lines:"
+    tail -n 8 "${log}" | sed 's/^/   | /'
     report "${name}" bad
     return
   fi
@@ -99,8 +104,11 @@ check_case() { # name fault-spec expect-crash
   # Restart (or re-run) without faults against the same cache: it must load
   # or quarantine what the faulted run left behind and converge on the
   # reference digest byte-for-byte.
-  if ! run_soak "${cache}" "${digest}"; then
-    echo "   clean rerun failed after fault"
+  rc=0
+  run_soak "${cache}" "${digest}" "${log}" || rc=$?
+  if [[ "${rc}" -ne 0 ]]; then
+    echo "   clean rerun failed after fault (exit ${rc}); last log lines:"
+    tail -n 8 "${log}" | sed 's/^/   | /'
     report "${name}" bad
     return
   fi

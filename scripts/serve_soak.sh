@@ -28,6 +28,15 @@ if [[ ! -x "${SOAK}" ]]; then
   exit 2
 fi
 
+# Everything the soak driver writes (model caches, artifact-store scratch)
+# lands under one work dir that an EXIT trap removes, the same way
+# fault_soak.sh manages its scratch — previously each run leaked its cache
+# into the caller's TMPDIR.
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/sdd_serve_soak.XXXXXX")"
+trap 'rm -rf "${WORK}"' EXIT
+export TMPDIR="${WORK}"
+export SDD_CACHE_DIR="${SDD_CACHE_DIR:-${WORK}/cache}"
+
 export SDD_LOG_LEVEL="${SDD_LOG_LEVEL:-warn}"
 # Small queue + batch so 4x-capacity offered load (the driver's default
 # SDD_SERVE_SOAK_LOAD=4) actually trips shedding, rejection, and degradation.
@@ -51,10 +60,14 @@ check_case() { # name [env VAR=VALUE ...] -- fault-spec
   shift
   local fault="${1:-}"
   echo "== ${name} (SDD_SERVE_FAULT=${fault:-<none>})"
-  if env "${extra_env[@]}" SDD_SERVE_FAULT="${fault}" "${SOAK}"; then
+  # Run the driver directly (no pipeline) so its exit code is what we test,
+  # and capture it explicitly rather than trusting $? after other commands.
+  local rc=0
+  env "${extra_env[@]}" SDD_SERVE_FAULT="${fault}" "${SOAK}" || rc=$?
+  if [[ "${rc}" -eq 0 ]]; then
     pass=$((pass + 1)); summary+=("PASS  ${name}")
   else
-    echo "   invariant violated (exit $?)"
+    echo "   invariant violated (exit ${rc})"
     fail=$((fail + 1)); summary+=("FAIL  ${name}")
   fi
 }

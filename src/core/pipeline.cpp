@@ -177,14 +177,20 @@ data::SftDataset Pipeline::raw_dataset(const std::string& name, std::int64_t siz
                                     config_.dataset_seed + fnv1a(name));
 }
 
-data::SftDataset Pipeline::distilled_dataset(const std::string& name,
-                                             std::int64_t size, DistillStats* stats) {
+std::uint64_t Pipeline::distilled_key(const std::string& name,
+                                      std::int64_t size) const {
   std::uint64_t key = config_.base_key();
   key = hash_combine(key, fnv1a(name));
   key = hash_combine(key, fnv1a_value(size));
   key = hash_combine(key, fnv1a_value(config_.dataset_seed));
   key = hash_combine(key, config_.distill.hash());
   key = hash_combine(key, fnv1a("distilled-dataset"));
+  return key;
+}
+
+data::SftDataset Pipeline::distilled_dataset(const std::string& name,
+                                             std::int64_t size, DistillStats* stats) {
+  const std::uint64_t key = distilled_key(name, size);
   return supervisor::supervised(
       "distill", config_.supervise, [&]() -> data::SftDataset {
         if (auto cached = cache_.load_dataset(key)) {

@@ -106,6 +106,11 @@ class Pipeline {
   data::SftDataset distilled_dataset(const std::string& name, std::int64_t size,
                                      DistillStats* stats = nullptr);
 
+  // Cache key of a distilled dataset. The fleet layer uses it to validate
+  // that a worker actually published the artifact (a cache load through the
+  // checksum) without recomputing anything in the orchestrator.
+  std::uint64_t distilled_key(const std::string& name, std::int64_t size) const;
+
   // Raw dataset mixed with `replay_ratio * size` house-style pre-training
   // examples (data-replay forgetting baseline).
   data::SftDataset replay_dataset(const std::string& name, std::int64_t size);

@@ -1,5 +1,6 @@
 #include "eval/suite.hpp"
 
+#include <cstdio>
 #include <stdexcept>
 
 #include "util/hash.hpp"
@@ -82,6 +83,18 @@ double recovery_percent(const SuiteScores& model_scores,
     throw std::invalid_argument("recovery_percent: baseline average is zero");
   }
   return 100.0 * model_scores.average / baseline_scores.average;
+}
+
+std::string format_suite_digest(const SuiteScores& scores) {
+  std::string out;
+  char buffer[64];
+  for (const auto& [name, score] : scores.tasks) {
+    std::snprintf(buffer, sizeof(buffer), "%.10f", score);
+    out += "metric " + name + ' ' + buffer + '\n';
+  }
+  std::snprintf(buffer, sizeof(buffer), "%.10f", scores.average);
+  out += std::string{"metric average "} + buffer + '\n';
+  return out;
 }
 
 }  // namespace sdd::eval

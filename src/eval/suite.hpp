@@ -51,4 +51,10 @@ SuiteScores evaluate_suite(const nn::TransformerLM& model, const data::World& wo
 double recovery_percent(const SuiteScores& model_scores,
                         const SuiteScores& baseline_scores);
 
+// Canonical text digest of a suite run, one "metric <task> <accuracy>" line
+// per task plus "metric average ...", accuracies at %.10f (the soak digest
+// format). Byte-for-byte comparable: the fleet soak asserts a fleet run's
+// digest is identical to the serial run's.
+std::string format_suite_digest(const SuiteScores& scores);
+
 }  // namespace sdd::eval

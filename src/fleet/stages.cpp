@@ -1,0 +1,229 @@
+#include "fleet/stages.hpp"
+
+#include "util/error.hpp"
+#include "util/hash.hpp"
+#include "util/log.hpp"
+#include "util/serialize.hpp"
+
+namespace sdd::fleet {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::string_view kMetricMagic = "SDDMTRC1";
+constexpr std::uint32_t kMetricVersion = 1;
+
+void execute_eval_cell(const TaskSpec& task) {
+  const nn::TransformerLM model = nn::TransformerLM::load(task.field("model"));
+  const data::World world{
+      static_cast<std::uint64_t>(task.field_int("world_seed"))};
+  eval::SuiteSpec spec;
+  spec.mc_items = task.field_int("mc_items");
+  spec.gen_items = task.field_int("gen_items");
+  spec.task_seed = static_cast<std::uint64_t>(task.field_int("task_seed"));
+  spec.options.shots = static_cast<int>(task.field_int("shots"));
+  spec.options.max_items = task.field_int("max_items");
+  spec.options.seed = static_cast<std::uint64_t>(task.field_int("eval_seed"));
+  const eval::TaskResult result =
+      eval::evaluate_named_task(model, world, task.field("task"), spec);
+  write_metric(task.field("out"), result);
+}
+
+void execute_distill_cell(const TaskSpec& task) {
+  // PipelineConfig::standard() reads the SDD_* environment, which workers
+  // inherit from the orchestrator — so this cell computes exactly the
+  // artifact the orchestrator's own pipeline would, into the shared cache.
+  core::Pipeline pipeline{core::PipelineConfig::standard()};
+  pipeline.distilled_dataset(task.field("dataset"), task.field_int("size"));
+}
+
+std::uint64_t eval_run_key(const nn::TransformerLM& model,
+                           const data::World& world,
+                           const std::vector<std::string>& tasks,
+                           const eval::SuiteSpec& spec) {
+  std::uint64_t key = hash_combine(model.weight_hash(), spec.hash());
+  key = hash_combine(key, fnv1a_value(world.seed()));
+  for (const std::string& task : tasks) key = hash_combine(key, fnv1a(task));
+  return key;
+}
+
+}  // namespace
+
+void execute_task(const TaskSpec& task) {
+  const std::string& kind = task.field("kind");
+  if (kind == "eval_cell") {
+    execute_eval_cell(task);
+  } else if (kind == "distill_cell") {
+    execute_distill_cell(task);
+  } else {
+    throw Error(ErrorKind::kFatal,
+                "fleet: unknown task kind '" + kind + "' in '" + task.id + "'");
+  }
+}
+
+void write_metric(const fs::path& path, const eval::TaskResult& result) {
+  BinaryWriter writer{path};
+  writer.write_magic(kMetricMagic, kMetricVersion);
+  writer.write_string(result.task);
+  writer.write_f64(result.accuracy);
+  writer.write_i64(result.n_items);
+  writer.write_i64(result.n_correct);
+  writer.flush();
+}
+
+eval::TaskResult read_metric(const fs::path& path) {
+  BinaryReader reader{path};
+  reader.expect_magic(kMetricMagic, kMetricVersion);
+  eval::TaskResult result;
+  result.task = reader.read_string();
+  result.accuracy = reader.read_f64();
+  result.n_items = reader.read_i64();
+  result.n_correct = reader.read_i64();
+  return result;
+}
+
+eval::SuiteScores run_eval_suite(const nn::TransformerLM& model,
+                                 const data::World& world,
+                                 const std::vector<std::string>& tasks,
+                                 const eval::SuiteSpec& spec,
+                                 const FleetConfig& fleet,
+                                 const fs::path& work_root,
+                                 FleetStats* stats_out) {
+  if (!fleet.enabled()) {
+    return eval::evaluate_suite(model, world, tasks, spec);
+  }
+  // The queue directory is keyed by everything that determines the grid, so
+  // an orchestrator restart finds the same directory and resumes: completed
+  // cells are enqueue-time no-ops and their artifacts are reused as-is.
+  const std::uint64_t run_key = eval_run_key(model, world, tasks, spec);
+  const fs::path base =
+      fleet.dir_override.empty() ? work_root : fleet.dir_override;
+  const fs::path dir = base / ("eval_" + hash_hex(run_key));
+  const fs::path results = dir / "results";
+  fs::create_directories(results);
+
+  // Checkpoint the model once for all workers. Same run key ⇒ same weights,
+  // so an artifact left by a previous (possibly crashed) run is reusable —
+  // a torn save is impossible (BinaryWriter publishes atomically).
+  const fs::path model_path = dir / "model.bin";
+  if (!fs::exists(model_path)) model.save(model_path);
+
+  std::vector<TaskSpec> specs;
+  for (const std::string& task : tasks) {
+    TaskSpec cell;
+    cell.id = "eval_" + task;
+    cell.fields["kind"] = "eval_cell";
+    cell.fields["task"] = task;
+    cell.fields["model"] = model_path.string();
+    cell.fields["out"] = (results / (task + ".metric")).string();
+    cell.fields["mc_items"] = std::to_string(spec.mc_items);
+    cell.fields["gen_items"] = std::to_string(spec.gen_items);
+    cell.fields["task_seed"] = std::to_string(spec.task_seed);
+    cell.fields["shots"] = std::to_string(spec.options.shots);
+    cell.fields["max_items"] = std::to_string(spec.options.max_items);
+    cell.fields["eval_seed"] = std::to_string(spec.options.seed);
+    cell.fields["world_seed"] = std::to_string(world.seed());
+    specs.push_back(std::move(cell));
+  }
+
+  // A published result only counts once it re-reads through its checksum
+  // and names the right task — a torn or corrupt write is requeued.
+  const ValidateFn validate = [](const TaskSpec& cell) {
+    const fs::path out = cell.field("out");
+    try {
+      const eval::TaskResult result = read_metric(out);
+      if (result.task != cell.field("task")) {
+        quarantine_artifact(out);
+        return false;
+      }
+      return true;
+    } catch (const SerializeError& e) {
+      log_warn("fleet: metric ", out.string(), " failed validation: ",
+               e.what());
+      quarantine_artifact(out);
+      return false;
+    }
+  };
+
+  const FleetStats stats = orchestrate(dir, specs, fleet, validate);
+  if (stats_out != nullptr) *stats_out = stats;
+  if (stats.dead > 0) {
+    throw Error(ErrorKind::kWorkerLost,
+                "fleet: eval grid incomplete: " + std::to_string(stats.dead) +
+                    " cell(s) quarantined in " + (dir / "dead").string());
+  }
+
+  // Assemble in serial task order with the identical floating-point
+  // accumulation evaluate_suite uses, so fleet and serial runs produce
+  // byte-identical scores.
+  eval::SuiteScores scores;
+  double total = 0.0;
+  for (const std::string& task : tasks) {
+    const eval::TaskResult result = read_metric(results / (task + ".metric"));
+    scores.tasks.emplace_back(task, result.accuracy);
+    total += result.accuracy;
+  }
+  scores.average =
+      tasks.empty() ? 0.0 : total / static_cast<double>(tasks.size());
+  return scores;
+}
+
+std::vector<data::SftDataset> run_distill_grid(
+    core::Pipeline& pipeline,
+    const std::vector<std::pair<std::string, std::int64_t>>& cells,
+    const FleetConfig& fleet, FleetStats* stats_out) {
+  std::vector<data::SftDataset> datasets;
+  if (!fleet.enabled()) {
+    for (const auto& [name, size] : cells) {
+      datasets.push_back(pipeline.distilled_dataset(name, size));
+    }
+    return datasets;
+  }
+
+  // Train (or load) the teacher before any worker spawns: workers then hit
+  // the cached base model instead of racing to pretrain it.
+  pipeline.base_model();
+
+  std::uint64_t run_key = fnv1a("distill-grid");
+  for (const auto& [name, size] : cells) {
+    run_key = hash_combine(run_key, pipeline.distilled_key(name, size));
+  }
+  const fs::path base = fleet.dir_override.empty()
+                            ? pipeline.config().cache_dir / "fleet"
+                            : fleet.dir_override;
+  const fs::path dir = base / ("distill_" + hash_hex(run_key));
+
+  std::vector<TaskSpec> specs;
+  for (const auto& [name, size] : cells) {
+    TaskSpec cell;
+    cell.id = "distill_" + name + "_" + std::to_string(size);
+    cell.fields["kind"] = "distill_cell";
+    cell.fields["dataset"] = name;
+    cell.fields["size"] = std::to_string(size);
+    specs.push_back(std::move(cell));
+  }
+
+  // The artifact lands in the shared experiment cache; validation is a
+  // checksummed load (load_dataset quarantines a corrupt file itself and
+  // reports a miss, which rejects the result and requeues the cell).
+  const ValidateFn validate = [&pipeline](const TaskSpec& cell) {
+    const std::uint64_t key = pipeline.distilled_key(
+        cell.field("dataset"), cell.field_int("size"));
+    return pipeline.cache().load_dataset(key).has_value();
+  };
+
+  const FleetStats stats = orchestrate(dir, specs, fleet, validate);
+  if (stats_out != nullptr) *stats_out = stats;
+  if (stats.dead > 0) {
+    throw Error(ErrorKind::kWorkerLost,
+                "fleet: distill grid incomplete: " + std::to_string(stats.dead) +
+                    " cell(s) quarantined in " + (dir / "dead").string());
+  }
+  for (const auto& [name, size] : cells) {
+    datasets.push_back(pipeline.distilled_dataset(name, size));  // cache hit
+  }
+  return datasets;
+}
+
+}  // namespace sdd::fleet

@@ -7,6 +7,7 @@
 #include "util/env.hpp"
 #include "util/fault.hpp"
 #include "util/log.hpp"
+#include "util/signals.hpp"
 
 namespace sdd::serve {
 
@@ -161,6 +162,9 @@ InferenceServer::InferenceServer(const nn::TransformerLM& model,
 InferenceServer::~InferenceServer() { shutdown(); }
 
 void InferenceServer::start() {
+  // A client that disappears mid-stream must surface as a write error on
+  // its ticket, not kill the whole server with SIGPIPE.
+  signals::ignore_sigpipe();
   const std::lock_guard<std::mutex> lock{queue_mutex_};
   if (worker_started_ || stopping_) return;
   worker_started_ = true;
@@ -367,6 +371,23 @@ void InferenceServer::drain_all(ErrorKind kind, const std::string& message) {
 
 void InferenceServer::schedule_loop() {
   while (true) {
+    // Graceful shutdown: stop admitting, finish the in-flight batch (those
+    // clients get real results), then fail whatever is still queued with
+    // the distinct interrupted kind. Checked before heartbeat(), which
+    // would otherwise throw out of the loop and fail the batch too.
+    if (signals::interrupt_requested()) {
+      log_warn("serve: shutdown signal received; draining in-flight batch");
+      {
+        const std::lock_guard<std::mutex> lock{queue_mutex_};
+        stopping_ = true;
+      }
+      while (step_slots()) {
+      }
+      drain_all(ErrorKind::kInterrupted, "shutdown requested by signal " +
+                                             std::to_string(
+                                                 signals::interrupt_signal()));
+      return;
+    }
     supervisor::heartbeat();
     admit_jobs();
     if (!step_slots()) {

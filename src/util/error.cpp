@@ -14,6 +14,10 @@ std::string_view error_kind_name(ErrorKind kind) {
       return "timeout";
     case ErrorKind::kResourceExhausted:
       return "resource_exhausted";
+    case ErrorKind::kWorkerLost:
+      return "worker_lost";
+    case ErrorKind::kInterrupted:
+      return "interrupted";
     case ErrorKind::kFatal:
       return "fatal";
   }
@@ -26,8 +30,10 @@ bool error_kind_retryable(ErrorKind kind) {
     case ErrorKind::kCorruptArtifact:
     case ErrorKind::kTimeout:
     case ErrorKind::kResourceExhausted:
+    case ErrorKind::kWorkerLost:
       return true;
     case ErrorKind::kNumericDivergence:
+    case ErrorKind::kInterrupted:
     case ErrorKind::kFatal:
       return false;
   }
@@ -46,6 +52,10 @@ int error_kind_exit_code(ErrorKind kind) {
       return 74;
     case ErrorKind::kResourceExhausted:
       return 69;  // EX_UNAVAILABLE
+    case ErrorKind::kWorkerLost:
+      return 71;  // EX_OSERR
+    case ErrorKind::kInterrupted:
+      return 72;  // graceful shutdown; distinct from 128+signo
     case ErrorKind::kFatal:
       return 70;  // EX_SOFTWARE
   }

@@ -21,6 +21,8 @@ enum class ErrorKind {
   kNumericDivergence,  // non-finite loss or exploding gradients
   kTimeout,            // stage deadline exceeded or watchdog-detected hang
   kResourceExhausted,  // allocation/disk-space style pressure
+  kWorkerLost,         // fleet worker died / lease expired; task is requeued
+  kInterrupted,        // graceful SIGTERM/SIGINT shutdown (util/signals)
   kFatal,              // programming error or unrecoverable state
 };
 
@@ -29,15 +31,18 @@ std::string_view error_kind_name(ErrorKind kind);
 
 // Whether the supervision layer should retry a stage that failed with this
 // kind. Numeric divergence is deliberately non-retryable at stage level: the
-// trainer's rollback policy already handled (or gave up on) it.
+// trainer's rollback policy already handled (or gave up on) it. Interrupted
+// is non-retryable by construction: the user asked the process to stop.
 bool error_kind_retryable(ErrorKind kind);
 
 // Stable process exit code for a failure of this kind, sysexits-inspired so
 // soak scripts can assert on the failure *class* instead of grepping stderr:
 // transient_io 75 (EX_TEMPFAIL), timeout 74, resource_exhausted 69
 // (EX_UNAVAILABLE), corrupt_artifact 65 (EX_DATAERR), numeric_divergence 76,
-// fatal 70 (EX_SOFTWARE). 64 (EX_USAGE) stays reserved for malformed
-// SDD_FAULT specs, 1 for non-taxonomy exceptions, 2 for CLI usage errors.
+// worker_lost 71 (EX_OSERR), interrupted 72 (graceful-shutdown exit, distinct
+// from the shell's 128+signo for an uncaught signal), fatal 70 (EX_SOFTWARE).
+// 64 (EX_USAGE) stays reserved for malformed SDD_FAULT specs, 1 for
+// non-taxonomy exceptions, 2 for CLI usage errors.
 int error_kind_exit_code(ErrorKind kind);
 
 class Error : public std::runtime_error {

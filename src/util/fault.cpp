@@ -1,7 +1,11 @@
 #include "util/fault.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdlib>
 #include <limits>
 #include <mutex>
@@ -26,6 +30,8 @@ struct State {
   std::atomic<std::int64_t> allocs{0};
   std::atomic<std::int64_t> decode_tokens{0};
   std::atomic<std::int64_t> logit_checks{0};
+  std::atomic<std::int64_t> fleet_claims{0};
+  std::atomic<std::int64_t> fleet_completions{0};
   std::mutex rng_mutex;
   Rng rng{0};
 };
@@ -59,8 +65,9 @@ void init_from_env() {
                 "\nfault: valid directives: io_fail:p=P, truncate_write, "
                 "crash_at_step:N, crash_at_io:N, hang_at_step:N, "
                 "nan_at_step:N, slow_io:ms=M, alloc_fail:at=N, "
-                "hang_decode:N, nan_decode:N, mode:throw|exit, seed:N "
-                "(comma-combined)");
+                "hang_decode:N, nan_decode:N, worker_kill9:at=N, "
+                "worker_stall:N, claim_race, orch_crash:N, mode:throw|exit, "
+                "seed:N (comma-combined)");
       std::exit(64);  // EX_USAGE
     }
   });
@@ -156,6 +163,18 @@ FaultConfig parse_fault_spec(const std::string& spec) {
       config.hang_decode = parse_int(arg, directive);
     } else if (name == "nan_decode") {
       config.nan_decode = parse_int(arg, directive);
+    } else if (name == "worker_kill9") {
+      // accepts "worker_kill9:at=1" and "worker_kill9:1"
+      const std::string at = arg.rfind("at=", 0) == 0 ? arg.substr(3) : arg;
+      config.worker_kill9_at = parse_int(at, directive);
+    } else if (name == "worker_stall") {
+      const std::string at = arg.rfind("at=", 0) == 0 ? arg.substr(3) : arg;
+      config.worker_stall_at = parse_int(at, directive);
+    } else if (name == "claim_race") {
+      config.claim_race = true;
+    } else if (name == "orch_crash") {
+      const std::string at = arg.rfind("at=", 0) == 0 ? arg.substr(3) : arg;
+      config.orch_crash_at = parse_int(at, directive);
     } else if (name == "hang_cap") {
       config.hang_cap_ms = parse_int(arg, directive);
     } else if (name == "mode") {
@@ -184,6 +203,8 @@ void configure(const FaultConfig& config) {
   s.allocs.store(0, std::memory_order_relaxed);
   s.decode_tokens.store(0, std::memory_order_relaxed);
   s.logit_checks.store(0, std::memory_order_relaxed);
+  s.fleet_claims.store(0, std::memory_order_relaxed);
+  s.fleet_completions.store(0, std::memory_order_relaxed);
   {
     const std::lock_guard<std::mutex> lock{s.rng_mutex};
     s.rng.reseed(config.seed);
@@ -308,6 +329,69 @@ bool should_poison_logits() {
   if (check != s.config.nan_decode) return false;
   log_warn("fault: poisoning decode logits with NaN at token ", check);
   return true;
+}
+
+namespace {
+
+// O_EXCL marker under the fleet run directory: the first process to create it
+// wins, so a fleet-level fault fires at most once per run even though every
+// respawned worker inherits the same SDD_FAULT environment.
+bool try_create_marker(const std::filesystem::path& marker) {
+  const int fd =
+      ::open(marker.string().c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+  if (fd < 0) return false;
+  ::close(fd);
+  return true;
+}
+
+}  // namespace
+
+void on_fleet_claim(const std::filesystem::path& fleet_dir) {
+  if (!enabled()) return;
+  State& s = state();
+  if (s.config.worker_kill9_at < 0 && s.config.worker_stall_at < 0) return;
+  const std::int64_t claim =
+      s.fleet_claims.fetch_add(1, std::memory_order_relaxed);
+  if (s.config.worker_kill9_at >= 0 && claim == s.config.worker_kill9_at &&
+      try_create_marker(fleet_dir / ".fault_worker_kill9")) {
+    if (s.config.mode == CrashMode::kThrow) {
+      throw FaultCrash("injected worker kill -9 at fleet claim #" +
+                       std::to_string(claim));
+    }
+    log_error("fault: SIGKILLing worker at fleet claim #", claim);
+    ::raise(SIGKILL);
+    std::_Exit(137);  // unreachable backstop
+  }
+  if (s.config.worker_stall_at >= 0 && claim == s.config.worker_stall_at &&
+      try_create_marker(fleet_dir / ".fault_worker_stall")) {
+    log_warn("fault: worker going lease-silent at fleet claim #", claim,
+             " (waiting for orchestrator SIGKILL, cap ", s.config.hang_cap_ms,
+             " ms)");
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds{s.config.hang_cap_ms});
+    if (s.config.mode == CrashMode::kThrow) {
+      throw FaultCrash("injected worker stall expired unkilled at claim #" +
+                       std::to_string(claim));
+    }
+    log_error("fault: stalled worker outlived hang cap — _Exit(137)");
+    std::_Exit(137);
+  }
+}
+
+bool claim_race_armed() {
+  if (!enabled()) return false;
+  return state().config.claim_race;
+}
+
+void on_fleet_completion() {
+  if (!enabled()) return;
+  State& s = state();
+  if (s.config.orch_crash_at < 0) return;
+  const std::int64_t done =
+      s.fleet_completions.fetch_add(1, std::memory_order_relaxed);
+  if (done == s.config.orch_crash_at) {
+    crash("fleet_completion", done);
+  }
 }
 
 }  // namespace sdd::fault

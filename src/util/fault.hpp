@@ -28,6 +28,24 @@
 //                                   then throw Error{timeout}
 //   SDD_FAULT="nan_decode:N"        poison the logits of the Nth decode
 //                                   token with NaN (serving NaN-guard path)
+//   SDD_FAULT="worker_kill9:at=N"   a fleet worker raises SIGKILL right after
+//                                   claiming its Nth task (0-based). Fires at
+//                                   most once per fleet run (O_EXCL marker in
+//                                   the fleet dir) so respawned workers make
+//                                   progress; the orchestrator must reclaim
+//                                   the orphaned lease
+//   SDD_FAULT="worker_stall:N"      a fleet worker goes silent after claiming
+//                                   its Nth task: no lease renewal, no
+//                                   progress, until the orchestrator SIGKILLs
+//                                   it (hang_cap safety exit 137 otherwise).
+//                                   Once per fleet run, like worker_kill9
+//   SDD_FAULT="claim_race"          fleet workers scan tasks in identical
+//                                   order and pause between scan and claim,
+//                                   forcing many workers to race one claim
+//                                   file (exactly one may win)
+//   SDD_FAULT="orch_crash:N"        the fleet orchestrator dies after
+//                                   observing its Nth completed task; a
+//                                   restart must resume from queue state
 //   SDD_FAULT="mode:throw"          crash by throwing FaultCrash instead of
 //                                   _Exit(137) (for in-process tests)
 //   SDD_FAULT="seed:N"              seed for the io_fail coin
@@ -67,6 +85,10 @@ struct FaultConfig {
   std::int64_t alloc_fail_at = -1;  // fail this guarded allocation (-1 = never)
   std::int64_t hang_decode = -1;    // stall at this decode token (-1 = never)
   std::int64_t nan_decode = -1;     // poison this decode token's logits
+  std::int64_t worker_kill9_at = -1;  // SIGKILL self at this fleet claim
+  std::int64_t worker_stall_at = -1;  // go lease-silent at this fleet claim
+  bool claim_race = false;            // force fleet claim contention
+  std::int64_t orch_crash_at = -1;  // orchestrator dies at Nth completion
   std::int64_t hang_cap_ms = 60'000;  // safety cap for an unwatched hang
   CrashMode mode = CrashMode::kExit;
   std::uint64_t seed = 0x5DDFA017ULL;
@@ -75,7 +97,8 @@ struct FaultConfig {
     return io_fail_p > 0.0 || truncate_write || crash_at_step >= 0 ||
            crash_at_io >= 0 || hang_at_step >= 0 || nan_at_step >= 0 ||
            slow_io_ms > 0 || alloc_fail_at >= 0 || hang_decode >= 0 ||
-           nan_decode >= 0;
+           nan_decode >= 0 || worker_kill9_at >= 0 || worker_stall_at >= 0 ||
+           claim_race || orch_crash_at >= 0;
   }
 };
 
@@ -135,5 +158,24 @@ void on_decode_token();
 // on the armed nan_decode call (its own counter); the caller poisons its
 // logits with NaN so the serving NaN guard can be exercised end to end.
 bool should_poison_logits();
+
+// Called by a fleet worker immediately after it wins a claim, with the fleet
+// run directory (per-process claim counter). worker_kill9 raises SIGKILL —
+// the truly unhandleable death — and worker_stall parks silently (no lease
+// renewal) until the orchestrator kills the process or hang_cap_ms expires
+// (then _Exit(137)). Both fire at most once per fleet run: the first worker
+// to reach its Nth claim wins an O_EXCL marker file under `fleet_dir`, so
+// respawned workers with the same SDD_FAULT environment still make progress.
+// Under mode:throw, worker_kill9 throws FaultCrash instead (in-process tests).
+void on_fleet_claim(const std::filesystem::path& fleet_dir);
+
+// True when claim_race is armed: the work queue scans tasks in identical
+// order across workers and widens the scan-to-claim window so concurrent
+// workers contend for the same claim file.
+bool claim_race_armed();
+
+// Called by the fleet orchestrator each time it observes a newly completed
+// task (per-process counter). Handles orch_crash_at.
+void on_fleet_completion();
 
 }  // namespace sdd::fault

@@ -1,0 +1,134 @@
+#include "util/proc.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <thread>
+
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+
+#include "util/error.hpp"
+
+extern char** environ;
+
+namespace sdd::proc {
+
+std::int64_t monotonic_ms() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1000 +
+         static_cast<std::int64_t>(ts.tv_nsec) / 1'000'000;
+}
+
+std::filesystem::path self_exe() {
+  std::error_code ec;
+  const auto path = std::filesystem::read_symlink("/proc/self/exe", ec);
+  if (ec) {
+    throw Error(ErrorKind::kFatal,
+                "proc: cannot resolve /proc/self/exe: " + ec.message());
+  }
+  return path;
+}
+
+std::int64_t spawn(const std::vector<std::string>& argv,
+                   const std::vector<std::string>& env_overrides) {
+  if (argv.empty()) {
+    throw Error(ErrorKind::kFatal, "proc: spawn with empty argv");
+  }
+  // Build the child argv/envp before forking: only async-signal-safe calls
+  // are allowed between fork and exec in a multi-threaded parent.
+  std::vector<std::string> env;
+  for (char** e = environ; *e != nullptr; ++e) {
+    const std::string entry{*e};
+    const std::string key = entry.substr(0, entry.find('='));
+    bool overridden = false;
+    for (const std::string& override_entry : env_overrides) {
+      if (override_entry.rfind(key + "=", 0) == 0) {
+        overridden = true;
+        break;
+      }
+    }
+    if (!overridden) env.push_back(entry);
+  }
+  env.insert(env.end(), env_overrides.begin(), env_overrides.end());
+
+  std::vector<char*> argv_ptrs;
+  argv_ptrs.reserve(argv.size() + 1);
+  for (const std::string& arg : argv) {
+    argv_ptrs.push_back(const_cast<char*>(arg.c_str()));
+  }
+  argv_ptrs.push_back(nullptr);
+  std::vector<char*> env_ptrs;
+  env_ptrs.reserve(env.size() + 1);
+  for (const std::string& entry : env) {
+    env_ptrs.push_back(const_cast<char*>(entry.c_str()));
+  }
+  env_ptrs.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    throw Error(ErrorKind::kWorkerLost,
+                std::string{"proc: fork failed: "} + std::strerror(errno));
+  }
+  if (pid == 0) {
+    ::execve(argv_ptrs[0], argv_ptrs.data(), env_ptrs.data());
+    // exec failed; 127 is the shell convention for "command not runnable".
+    ::_exit(127);
+  }
+  return pid;
+}
+
+bool alive(std::int64_t pid) {
+  if (pid <= 0) return false;
+  return ::kill(static_cast<pid_t>(pid), 0) == 0 || errno == EPERM;
+}
+
+void send_signal(std::int64_t pid, int signum) noexcept {
+  if (pid > 0) ::kill(static_cast<pid_t>(pid), signum);
+}
+
+std::optional<ExitStatus> try_reap(std::int64_t pid) {
+  int status = 0;
+  const pid_t reaped = ::waitpid(static_cast<pid_t>(pid), &status, WNOHANG);
+  if (reaped == 0) return std::nullopt;
+  if (reaped < 0) {
+    throw Error(ErrorKind::kWorkerLost,
+                "proc: waitpid(" + std::to_string(pid) +
+                    ") failed: " + std::strerror(errno));
+  }
+  ExitStatus result;
+  result.pid = reaped;
+  if (WIFEXITED(status)) {
+    result.exit_code = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    result.term_signal = WTERMSIG(status);
+  }
+  return result;
+}
+
+std::optional<ExitStatus> wait_reap(std::int64_t pid, std::int64_t timeout_ms) {
+  const std::int64_t deadline = monotonic_ms() + timeout_ms;
+  for (;;) {
+    if (auto status = try_reap(pid)) return status;
+    if (monotonic_ms() >= deadline) return std::nullopt;
+    std::this_thread::sleep_for(std::chrono::milliseconds{5});
+  }
+}
+
+ExitStatus terminate(std::int64_t pid, std::int64_t grace_ms) {
+  send_signal(pid, SIGTERM);
+  if (auto status = wait_reap(pid, grace_ms)) return *status;
+  send_signal(pid, SIGKILL);
+  // SIGKILL cannot be blocked; the bounded wait is belt-and-braces against a
+  // child stuck in an uninterruptible state.
+  if (auto status = wait_reap(pid, 10'000)) return *status;
+  ExitStatus lost;
+  lost.pid = pid;
+  lost.term_signal = SIGKILL;
+  return lost;
+}
+
+}  // namespace sdd::proc

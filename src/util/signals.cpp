@@ -1,0 +1,54 @@
+#include "util/signals.hpp"
+
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
+
+namespace sdd::signals {
+namespace {
+
+std::atomic<int> g_interrupt_signal{0};
+
+// Async-signal-safe: one atomic store on the first signal, _Exit on the
+// second. No locks, no allocation, no stdio.
+void on_signal(int signum) {
+  int expected = 0;
+  if (!g_interrupt_signal.compare_exchange_strong(expected, signum,
+                                                  std::memory_order_relaxed)) {
+    std::_Exit(128 + signum);
+  }
+}
+
+}  // namespace
+
+void install_graceful_shutdown() {
+  struct sigaction action = {};
+  action.sa_handler = on_signal;
+  sigemptyset(&action.sa_mask);
+  // No SA_RESTART: blocking syscalls return EINTR so poll loops wake
+  // promptly instead of sleeping out their full timeout.
+  action.sa_flags = 0;
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+}
+
+bool interrupt_requested() noexcept {
+  return g_interrupt_signal.load(std::memory_order_relaxed) != 0;
+}
+
+int interrupt_signal() noexcept {
+  return g_interrupt_signal.load(std::memory_order_relaxed);
+}
+
+void reset_interrupt_for_test() noexcept {
+  g_interrupt_signal.store(0, std::memory_order_relaxed);
+}
+
+void ignore_sigpipe() {
+  struct sigaction action = {};
+  action.sa_handler = SIG_IGN;
+  sigemptyset(&action.sa_mask);
+  sigaction(SIGPIPE, &action, nullptr);
+}
+
+}  // namespace sdd::signals

@@ -9,6 +9,7 @@
 #include "util/hash.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
+#include "util/signals.hpp"
 
 namespace sdd::supervisor {
 namespace {
@@ -177,6 +178,15 @@ StageReport run_stage(const std::string& name, const SupervisorConfig& config,
 }
 
 void heartbeat() {
+  // Graceful-shutdown check first, before the null-ctx early return, so
+  // unsupervised loops (CLI stages outside run_stage, fleet worker polling)
+  // also honor SIGTERM/SIGINT. kInterrupted is non-retryable, so run_stage
+  // propagates it straight out instead of burning retry budget.
+  if (signals::interrupt_requested()) {
+    throw Error(ErrorKind::kInterrupted,
+                "shutdown requested by signal " +
+                    std::to_string(signals::interrupt_signal()));
+  }
   StageContext* ctx = t_stage;
   if (ctx == nullptr) return;
   const Clock::rep now = now_ns();

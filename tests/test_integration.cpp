@@ -1,7 +1,10 @@
 // End-to-end integration tests: the full pipeline (pretrain -> prune ->
 // {No FT | SFT | SDD | merge} -> eval) at micro scale, including the on-disk
 // experiment cache semantics benches rely on.
+#include <unistd.h>
+
 #include <filesystem>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -35,8 +38,10 @@ PipelineConfig micro_config(const std::filesystem::path& cache_dir) {
 class PipelineTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    cache_dir_ =
-        std::filesystem::temp_directory_path() / "sdd_pipeline_test_cache";
+    // Pid-suffixed so concurrent `ctest -j` case processes of this fixture
+    // cannot remove_all each other's live cache.
+    cache_dir_ = std::filesystem::temp_directory_path() /
+                 ("sdd_pipeline_test_cache_" + std::to_string(::getpid()));
     std::filesystem::remove_all(cache_dir_);
   }
   void TearDown() override { std::filesystem::remove_all(cache_dir_); }

@@ -1,10 +1,13 @@
 // Durability-layer tests: checksummed artifacts, atomic commits, corrupt-
 // artifact quarantine, fault injection, checkpoint/resume equivalence, and
 // numeric-divergence rollback.
+#include <unistd.h>
+
 #include <chrono>
 #include <cmath>
 #include <filesystem>
 #include <fstream>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -25,8 +28,29 @@ namespace {
 
 namespace fs = std::filesystem;
 
+// All scratch dirs live under one pid-suffixed root: `ctest -j` runs each
+// test case in its own process, and fixture cases that share a literal dir
+// name (CacheRobustnessTest's SetUp) must not remove_all a concurrent
+// sibling's live directory. The root is deleted once at process exit.
+const fs::path& scratch_root() {
+  static const fs::path root =
+      fs::temp_directory_path() /
+      ("sdd_robust_" + std::to_string(::getpid()));
+  return root;
+}
+
+class ScratchRootCleanup : public ::testing::Environment {
+ public:
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(scratch_root(), ec);
+  }
+};
+const auto* const kScratchRootCleanup =
+    ::testing::AddGlobalTestEnvironment(new ScratchRootCleanup);
+
 fs::path temp_dir(const char* name) {
-  const fs::path dir = fs::temp_directory_path() / name;
+  const fs::path dir = scratch_root() / name;
   fs::remove_all(dir);
   fs::create_directories(dir);
   return dir;
