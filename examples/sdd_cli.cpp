@@ -9,6 +9,10 @@
 //   sdd_cli eval     --model model.bin [--suite core|openllm] [--items 60]
 //                    [--out digest.txt]
 //   sdd_cli generate --model model.bin --prompt "q : what does the cat say ?"
+//   sdd_cli route    --models full.bin,pruned.bin [--names full,p1]
+//                    [--quality digest.txt] --prompt "..." [--task gsm8k]
+//                    [--count 4] [--deadline 50] [--pin p1] [--max-tokens 48]
+//                    [--temperature 0]
 //   sdd_cli info     --model model.bin
 //   sdd_cli fleet-worker --dir <queue dir> --worker <id>   (internal: spawned
 //                    by the fleet orchestrator, not meant to be run by hand)
@@ -25,6 +29,7 @@
 // flag at their next heartbeat, unwind with Error{interrupted}, and the
 // process exits 72 (a second signal hard-exits 128+signo immediately).
 #include <cstdio>
+#include <filesystem>
 #include <map>
 #include <string>
 #include <vector>
@@ -34,6 +39,7 @@
 #include "eval/suite.hpp"
 #include "fleet/stages.hpp"
 #include "nn/decode.hpp"
+#include "serve/router.hpp"
 #include "util/error.hpp"
 #include "util/serialize.hpp"
 #include "util/signals.hpp"
@@ -66,6 +72,20 @@ std::string arg_or(const Args& args, const std::string& key,
 std::int64_t arg_int(const Args& args, const std::string& key, std::int64_t fallback) {
   const auto it = args.find(key);
   return it == args.end() ? fallback : std::stoll(it->second);
+}
+
+std::vector<std::string> split_csv(const std::string& list) {
+  std::vector<std::string> out;
+  std::size_t begin = 0;
+  while (begin <= list.size()) {
+    const std::size_t end = list.find(',', begin);
+    const std::string item =
+        list.substr(begin, end == std::string::npos ? end : end - begin);
+    if (!item.empty()) out.push_back(item);
+    if (end == std::string::npos) break;
+    begin = end + 1;
+  }
+  return out;
 }
 
 core::ImportanceMetric parse_metric(const std::string& name) {
@@ -251,6 +271,98 @@ int cmd_generate(const Args& args) {
   return 0;
 }
 
+// Serves one prompt (optionally N times) through a VariantRouter over the
+// given model files: quality/deadline-aware variant choice, circuit-breaker
+// health, and failover, with a per-replica health table at the end. The
+// router knobs come from the SDD_ROUTE_* / SDD_SERVE_* environment
+// (RouterConfig::from_env), same as the soaks.
+int cmd_route(const Args& args) {
+  const std::vector<std::string> paths = split_csv(args.at("models"));
+  if (paths.empty()) {
+    throw std::invalid_argument("--models needs at least one model file");
+  }
+  std::vector<std::string> names = split_csv(arg_or(args, "names", ""));
+  if (!names.empty() && names.size() != paths.size()) {
+    throw std::invalid_argument("--names count must match --models count");
+  }
+
+  serve::QualityTable table;
+  const std::string quality_path = arg_or(args, "quality", "");
+  if (!quality_path.empty()) table = serve::QualityTable::load(quality_path);
+
+  std::vector<serve::VariantSpec> variants;
+  variants.reserve(paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    serve::VariantSpec spec;
+    spec.name = i < names.size()
+                    ? names[i]
+                    : std::filesystem::path{paths[i]}.stem().string();
+    spec.model = nn::TransformerLM::load(paths[i]);
+    variants.push_back(std::move(spec));
+  }
+  serve::VariantRouter router{std::move(variants), serve::RouterConfig::from_env(),
+                              std::move(table)};
+
+  const data::Vocab& vocab = data::Vocab::instance();
+  std::vector<data::TokenId> prompt;
+  prompt.push_back(vocab.bos());
+  const auto body = vocab.encode(args.at("prompt"));
+  prompt.insert(prompt.end(), body.begin(), body.end());
+  prompt.push_back(vocab.sep());
+
+  const std::int64_t count = arg_int(args, "count", 1);
+  std::vector<serve::RouteTicketPtr> tickets;
+  tickets.reserve(static_cast<std::size_t>(count));
+  for (std::int64_t i = 0; i < count; ++i) {
+    serve::RouteRequest route;
+    route.request.prompt = prompt;
+    route.request.max_new_tokens = arg_int(args, "max-tokens", 48);
+    route.request.temperature = std::stof(arg_or(args, "temperature", "0"));
+    route.request.stop_token = vocab.eos();
+    route.request.seed = static_cast<std::uint64_t>(1234 + i);
+    route.request.deadline_ms = arg_int(args, "deadline", 0);
+    route.task = arg_or(args, "task", "");
+    route.variant = arg_or(args, "pin", "");
+    tickets.push_back(router.submit(std::move(route)));
+  }
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    const serve::RouteResponse& routed = tickets[i]->wait();
+    std::printf("[%zu] variant=%-12s state=%-9s hops=%lld%s\n", i,
+                routed.variant.empty() ? "-" : routed.variant.c_str(),
+                std::string{serve::request_state_name(routed.response.state)}
+                    .c_str(),
+                static_cast<long long>(routed.hops),
+                routed.rerouted ? " (rerouted)" : "");
+    if (routed.response.state == serve::RequestState::kCompleted) {
+      std::printf("    %s\n", vocab.decode(routed.response.tokens).c_str());
+    } else if (!routed.response.message.empty()) {
+      std::printf("    %s\n", routed.response.message.c_str());
+    }
+  }
+
+  TablePrinter health{{"variant", "health", "dispatched", "completed",
+                       "failures", "opens", "probes", "params"}};
+  for (const auto& snap : router.replicas()) {
+    health.add_row({snap.name,
+                    std::string{serve::health_state_name(snap.health)},
+                    std::to_string(snap.stats.dispatched),
+                    std::to_string(snap.stats.completed),
+                    std::to_string(snap.stats.breaker_failures),
+                    std::to_string(snap.stats.breaker_opens),
+                    std::to_string(snap.stats.probes),
+                    std::to_string(snap.cost)});
+  }
+  std::printf("%s", health.to_ascii().c_str());
+  const serve::RouterStats stats = router.stats();
+  std::printf(
+      "router: submitted=%lld completed=%lld failovers=%lld exhausted=%lld\n",
+      static_cast<long long>(stats.submitted),
+      static_cast<long long>(stats.completed),
+      static_cast<long long>(stats.failovers),
+      static_cast<long long>(stats.exhausted));
+  return 0;
+}
+
 int cmd_info(const Args& args) {
   const nn::TransformerLM model = nn::TransformerLM::load(args.at("model"));
   const nn::ModelConfig& config = model.config();
@@ -266,7 +378,8 @@ int cmd_info(const Args& args) {
 void usage() {
   std::printf(
       "usage: sdd_cli "
-      "<pretrain|prune|distill|recover|merge|eval|generate|info|fleet-worker> "
+      "<pretrain|prune|distill|recover|merge|eval|generate|route|info|"
+      "fleet-worker> "
       "[--flag value ...]\n(see the header comment of examples/sdd_cli.cpp)\n");
 }
 
@@ -290,6 +403,7 @@ int main(int argc, char** argv) {
     if (command == "merge") return cmd_merge(args);
     if (command == "eval") return cmd_eval(args);
     if (command == "generate") return cmd_generate(args);
+    if (command == "route") return cmd_route(args);
     if (command == "info") return cmd_info(args);
     if (command == "fleet-worker") return cmd_fleet_worker(args);
     usage();

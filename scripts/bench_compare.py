@@ -33,8 +33,21 @@ KEY_PREFIXES = ("BM_GemmNn", "BM_GemmNt", "BM_GemmTn")
 
 
 def load_benchmarks(path: str) -> dict[str, dict]:
-    with open(path, encoding="utf-8") as fh:
-        doc = json.load(fh)
+    """Load the benchmark rows of a Google-Benchmark JSON file.
+
+    A missing, unreadable, or malformed file exits with a one-line error
+    instead of a traceback: in CI and soak logs the traceback buries the
+    actual problem (usually a bench run that never produced output).
+    """
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except OSError as err:
+        sys.exit(f"bench_compare: cannot read {path}: {err.strerror or err}")
+    except json.JSONDecodeError as err:
+        sys.exit(f"bench_compare: {path} is not valid JSON: {err}")
+    if not isinstance(doc, dict):
+        sys.exit(f"bench_compare: {path} is not a benchmark JSON document")
     out: dict[str, dict] = {}
     for bench in doc.get("benchmarks", []):
         # Skip aggregate rows (mean/median/stddev) from --benchmark_repetitions.
@@ -57,7 +70,14 @@ def metric(bench: dict) -> tuple[str, float, bool] | None:
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", help="committed baseline JSON")
-    parser.add_argument("current", help="fresh benchmark JSON")
+    parser.add_argument(
+        "current", nargs="?", help="fresh benchmark JSON (omit with --list)"
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="print the benchmark names tracked in the given file(s) and exit",
+    )
     parser.add_argument(
         "--tolerance",
         type=float,
@@ -76,6 +96,18 @@ def main() -> int:
         help=f"only flag the key kernels ({', '.join(KEY_PREFIXES)})",
     )
     args = parser.parse_args()
+
+    if args.list:
+        for path in [args.baseline] + ([args.current] if args.current else []):
+            benches = load_benchmarks(path)
+            key = [n for n in benches if n.startswith(KEY_PREFIXES)]
+            print(f"{path}: {len(benches)} benchmark(s), {len(key)} key")
+            for name in sorted(benches):
+                marker = "  [key]" if name.startswith(KEY_PREFIXES) else ""
+                print(f"  {name}{marker}")
+        return 0
+    if args.current is None:
+        parser.error("CURRENT.json is required unless --list is given")
 
     baseline = load_benchmarks(args.baseline)
     current = load_benchmarks(args.current)

@@ -27,15 +27,13 @@
 #                      _Exit(137)s at its Nth validated completion
 set -euo pipefail
 
+source "$(dirname "${BASH_SOURCE[0]}")/soak_lib.sh"
+
 BUILD="${1:-build}"
 CLI="${BUILD}/examples/sdd_cli"
-if [[ ! -x "${CLI}" ]]; then
-  echo "fleet_soak: ${CLI} not found; build it first (cmake --build ${BUILD} --target sdd_cli)" >&2
-  exit 2
-fi
+soak_require_binary fleet_soak "${CLI}" sdd_cli
 
-WORK="$(mktemp -d "${TMPDIR:-/tmp}/sdd_fleet_soak.XXXXXX")"
-trap 'rm -rf "${WORK}"' EXIT
+soak_workdir sdd_fleet_soak
 
 # Tiny but non-degenerate scale; the base model is pretrained once into the
 # shared cache and every scenario evaluates the same weights.
@@ -49,18 +47,6 @@ export SDD_PRETRAIN_BATCH="${SDD_PRETRAIN_BATCH:-2}"
 export SDD_PRETRAIN_SEQ="${SDD_PRETRAIN_SEQ:-48}"
 export SDD_CACHE_DIR="${WORK}/cache"
 ITEMS="${SDD_FLEET_SOAK_ITEMS:-3}"
-
-pass=0
-fail=0
-declare -a summary
-
-report() { # name ok|bad
-  if [[ "$2" == ok ]]; then
-    pass=$((pass + 1)); summary+=("PASS  $1")
-  else
-    fail=$((fail + 1)); summary+=("FAIL  $1")
-  fi
-}
 
 run_eval() { # digest-out log-file [VAR=VALUE ...]
   local digest="$1" log="$2"
@@ -87,15 +73,15 @@ chaos_case() { # name fleet-fault-spec [VAR=VALUE ...]
   if [[ "${rc}" -ne 0 ]]; then
     echo "   fleet run failed (exit ${rc}); last log lines:"
     tail -n 8 "${log}" | sed 's/^/   | /'
-    report "${name}" bad
+    soak_report "${name}" bad
     return
   fi
   if cmp -s "${REF}" "${digest}"; then
-    report "${name}" ok
+    soak_report "${name}" ok
   else
     echo "   digest differs from serial reference:"
     diff "${REF}" "${digest}" | sed 's/^/   | /' || true
-    report "${name}" bad
+    soak_report "${name}" bad
   fi
 }
 
@@ -154,10 +140,6 @@ elif ! grep -q "reused=[1-9]" "${WORK}/orch_restart.log"; then
   grep "fleet:" "${WORK}/orch_restart.log" | sed 's/^/   | /' || true
   orc_ok=bad
 fi
-report orch_restart "${orc_ok}"
+soak_report orch_restart "${orc_ok}"
 
-echo
-echo "== fleet soak summary"
-printf '%s\n' "${summary[@]}"
-echo "-- ${pass} passed, ${fail} failed"
-[[ "${fail}" -eq 0 ]]
+soak_summary "fleet soak"

@@ -21,19 +21,15 @@
 #                     (latency soak for the loading path)
 set -euo pipefail
 
+source "$(dirname "${BASH_SOURCE[0]}")/soak_lib.sh"
+
 BUILD="${1:-build}"
 SOAK="${BUILD}/examples/serve_soak"
-if [[ ! -x "${SOAK}" ]]; then
-  echo "serve_soak: ${SOAK} not found; build it first (cmake --build ${BUILD} --target serve_soak)" >&2
-  exit 2
-fi
+soak_require_binary serve_soak "${SOAK}" serve_soak
 
 # Everything the soak driver writes (model caches, artifact-store scratch)
-# lands under one work dir that an EXIT trap removes, the same way
-# fault_soak.sh manages its scratch — previously each run leaked its cache
-# into the caller's TMPDIR.
-WORK="$(mktemp -d "${TMPDIR:-/tmp}/sdd_serve_soak.XXXXXX")"
-trap 'rm -rf "${WORK}"' EXIT
+# lands under the trapped work dir so no run leaks into the caller's TMPDIR.
+soak_workdir sdd_serve_soak
 export TMPDIR="${WORK}"
 export SDD_CACHE_DIR="${SDD_CACHE_DIR:-${WORK}/cache}"
 
@@ -44,10 +40,6 @@ export SDD_SERVE_QUEUE_CAP="${SDD_SERVE_QUEUE_CAP:-8}"
 export SDD_SERVE_MAX_BATCH="${SDD_SERVE_MAX_BATCH:-4}"
 export SDD_SERVE_SOAK_CLIENTS="${SDD_SERVE_SOAK_CLIENTS:-4}"
 export SDD_SERVE_SOAK_LOAD="${SDD_SERVE_SOAK_LOAD:-4}"
-
-pass=0
-fail=0
-declare -a summary
 
 check_case() { # name [env VAR=VALUE ...] -- fault-spec
   local name="$1"
@@ -65,10 +57,10 @@ check_case() { # name [env VAR=VALUE ...] -- fault-spec
   local rc=0
   env "${extra_env[@]}" SDD_SERVE_FAULT="${fault}" "${SOAK}" || rc=$?
   if [[ "${rc}" -eq 0 ]]; then
-    pass=$((pass + 1)); summary+=("PASS  ${name}")
+    soak_report "${name}" ok
   else
     echo "   invariant violated (exit ${rc})"
-    fail=$((fail + 1)); summary+=("FAIL  ${name}")
+    soak_report "${name}" bad
   fi
 }
 
@@ -99,8 +91,4 @@ check_case slow_io -- "slow_io:ms=50"
 check_case combined SDD_SERVE_HANG_MS=200 SDD_SERVE_SOAK_STORE=0 -- \
   "hang_decode:20,nan_decode:40,alloc_fail:at=6"
 
-echo
-echo "== serve soak summary"
-printf '%s\n' "${summary[@]}"
-echo "-- ${pass} passed, ${fail} failed"
-[[ "${fail}" -eq 0 ]]
+soak_summary "serve soak"

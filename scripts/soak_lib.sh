@@ -1,0 +1,47 @@
+# Shared helpers for the chaos soak scripts (serve_soak.sh, fleet_soak.sh,
+# router_soak.sh): binary lookup with a build hint, a trapped scratch dir,
+# per-case pass/fail accounting, and a uniform summary/exit contract.
+#
+# Source it, then:
+#   soak_require_binary LABEL PATH TARGET  # exit 2 with a build hint if absent
+#   soak_workdir PREFIX                    # sets $WORK; removed by an EXIT trap
+#   soak_report NAME ok|bad                # tally one case
+#   soak_summary TITLE                     # print the table; false if any failed
+
+soak_pass=0
+soak_fail=0
+declare -a soak_cases=()
+
+# Fails fast (exit 2, the soaks' "infrastructure problem" code) when the
+# required executable has not been built, with the exact build command.
+soak_require_binary() { # label path cmake-target
+  local label="$1" path="$2" target="$3"
+  if [[ ! -x "${path}" ]]; then
+    echo "${label}: ${path} not found; build it first (cmake --build ${BUILD:-build} --target ${target})" >&2
+    exit 2
+  fi
+}
+
+# One scratch dir per run, removed on every exit path. Everything a soak
+# writes (model caches, digests, logs) must land under $WORK so a failed run
+# never leaks scratch into the caller's TMPDIR.
+soak_workdir() { # prefix
+  WORK="$(mktemp -d "${TMPDIR:-/tmp}/$1.XXXXXX")"
+  trap 'rm -rf "${WORK}"' EXIT
+}
+
+soak_report() { # name ok|bad
+  if [[ "$2" == ok ]]; then
+    soak_pass=$((soak_pass + 1)); soak_cases+=("PASS  $1")
+  else
+    soak_fail=$((soak_fail + 1)); soak_cases+=("FAIL  $1")
+  fi
+}
+
+soak_summary() { # title
+  echo
+  echo "== $1 summary"
+  printf '%s\n' "${soak_cases[@]}"
+  echo "-- ${soak_pass} passed, ${soak_fail} failed"
+  [[ "${soak_fail}" -eq 0 ]]
+}

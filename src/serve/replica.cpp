@@ -1,0 +1,211 @@
+#include "serve/replica.hpp"
+
+#include <algorithm>
+
+#include "util/env.hpp"
+#include "util/log.hpp"
+
+namespace sdd::serve {
+
+using Clock = std::chrono::steady_clock;
+
+std::string_view health_state_name(HealthState state) {
+  switch (state) {
+    case HealthState::kHealthy:
+      return "healthy";
+    case HealthState::kDegraded:
+      return "degraded";
+    case HealthState::kOpen:
+      return "open";
+    case HealthState::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+BreakerConfig BreakerConfig::from_env() {
+  BreakerConfig config;
+  config.degraded_after =
+      env_int("SDD_ROUTE_DEGRADED_FAILS", config.degraded_after);
+  config.open_after = env_int("SDD_ROUTE_BREAKER_FAILS", config.open_after);
+  config.cooldown_ms =
+      env_int("SDD_ROUTE_BREAKER_COOLDOWN_MS", config.cooldown_ms);
+  config.probe_max = env_int("SDD_ROUTE_PROBE_MAX", config.probe_max);
+  return config;
+}
+
+// ---- breaker ---------------------------------------------------------------
+
+HealthBreaker::HealthBreaker(BreakerConfig config)
+    : config_{std::move(config)} {
+  config_.degraded_after = std::max<std::int64_t>(1, config_.degraded_after);
+  config_.open_after =
+      std::max(config_.degraded_after, config_.open_after);
+  config_.cooldown_ms = std::max<std::int64_t>(1, config_.cooldown_ms);
+  config_.probe_max = std::max<std::int64_t>(1, config_.probe_max);
+}
+
+Clock::time_point HealthBreaker::now() const {
+  return config_.now_fn ? config_.now_fn() : Clock::now();
+}
+
+HealthState HealthBreaker::state() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  return state_;
+}
+
+bool HealthBreaker::dispatchable() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  switch (state_) {
+    case HealthState::kHealthy:
+    case HealthState::kDegraded:
+      return true;
+    case HealthState::kOpen:
+      // Cooled-down open counts: try_begin will flip it to half-open.
+      return now() - opened_at_ >=
+             std::chrono::milliseconds{config_.cooldown_ms};
+    case HealthState::kHalfOpen:
+      return probes_inflight_ < config_.probe_max;
+  }
+  return false;
+}
+
+bool HealthBreaker::try_begin(bool* is_probe) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  *is_probe = false;
+  switch (state_) {
+    case HealthState::kHealthy:
+    case HealthState::kDegraded:
+      return true;
+    case HealthState::kOpen:
+      if (now() - opened_at_ <
+          std::chrono::milliseconds{config_.cooldown_ms}) {
+        return false;
+      }
+      // Cooldown elapsed: this dispatch becomes the first half-open probe.
+      state_ = HealthState::kHalfOpen;
+      probes_inflight_ = 1;
+      *is_probe = true;
+      return true;
+    case HealthState::kHalfOpen:
+      if (probes_inflight_ >= config_.probe_max) return false;
+      ++probes_inflight_;
+      *is_probe = true;
+      return true;
+  }
+  return false;
+}
+
+void HealthBreaker::record(Outcome outcome, bool is_probe) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  if (is_probe && probes_inflight_ > 0) --probes_inflight_;
+  switch (outcome) {
+    case Outcome::kSuccess:
+      fails_ = 0;
+      penalty_ /= 2;
+      if (state_ != HealthState::kOpen) state_ = HealthState::kHealthy;
+      return;
+    case Outcome::kFailure:
+      ++fails_;
+      if (state_ == HealthState::kHalfOpen || fails_ >= config_.open_after) {
+        // A failed probe re-opens immediately; a fresh streak trips open.
+        state_ = HealthState::kOpen;
+        opened_at_ = now();
+        probes_inflight_ = 0;
+      } else if (fails_ >= config_.degraded_after &&
+                 state_ == HealthState::kHealthy) {
+        state_ = HealthState::kDegraded;
+      }
+      return;
+    case Outcome::kBackpressure:
+      ++penalty_;
+      return;
+    case Outcome::kNeutral:
+      return;
+  }
+}
+
+void HealthBreaker::abandon(bool is_probe) {
+  record(Outcome::kNeutral, is_probe);
+}
+
+std::int64_t HealthBreaker::load_penalty() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  return penalty_;
+}
+
+std::int64_t HealthBreaker::consecutive_failures() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  return fails_;
+}
+
+std::int64_t HealthBreaker::cooldown_remaining_ms() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  if (state_ != HealthState::kOpen) return 0;
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           now() - opened_at_)
+                           .count();
+  return std::max<std::int64_t>(0, config_.cooldown_ms - elapsed);
+}
+
+// ---- replica ---------------------------------------------------------------
+
+Replica::Replica(std::string name, nn::TransformerLM model, double quality,
+                 const ServerConfig& server_config,
+                 const BreakerConfig& breaker)
+    : name_{std::move(name)},
+      quality_{quality},
+      model_{std::move(model)},
+      server_{model_, server_config},
+      breaker_{breaker} {}
+
+bool Replica::try_begin_dispatch(bool* is_probe) {
+  if (!breaker_.try_begin(is_probe)) return false;
+  const std::lock_guard<std::mutex> lock{stats_mutex_};
+  ++stats_.dispatched;
+  if (*is_probe) ++stats_.probes;
+  return true;
+}
+
+void Replica::record_outcome(HealthBreaker::Outcome outcome, bool is_probe,
+                             const Response& response) {
+  const HealthState before = breaker_.state();
+  breaker_.record(outcome, is_probe);
+  const HealthState after = breaker_.state();
+  if (after == HealthState::kOpen && before != HealthState::kOpen) {
+    log_warn("route: replica '", name_, "' breaker opened after ",
+             breaker_.consecutive_failures(), " consecutive failures");
+  }
+  if (is_probe && outcome == HealthBreaker::Outcome::kSuccess) {
+    log_info("route: replica '", name_, "' probe succeeded; breaker closed");
+  }
+  const std::lock_guard<std::mutex> lock{stats_mutex_};
+  switch (outcome) {
+    case HealthBreaker::Outcome::kSuccess:
+      ++stats_.completed;
+      if (is_probe) ++stats_.probe_successes;
+      stats_.latency_ema_ms =
+          stats_.latency_ema_ms == 0.0
+              ? static_cast<double>(response.decode_ms)
+              : 0.8 * stats_.latency_ema_ms + 0.2 * response.decode_ms;
+      break;
+    case HealthBreaker::Outcome::kFailure:
+      ++stats_.breaker_failures;
+      break;
+    case HealthBreaker::Outcome::kBackpressure:
+      ++stats_.backpressure;
+      break;
+    case HealthBreaker::Outcome::kNeutral:
+      break;
+  }
+  if (after == HealthState::kOpen && before != HealthState::kOpen) {
+    ++stats_.breaker_opens;
+  }
+}
+
+ReplicaStats Replica::stats() const {
+  const std::lock_guard<std::mutex> lock{stats_mutex_};
+  return stats_;
+}
+
+}  // namespace sdd::serve

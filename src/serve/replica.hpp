@@ -1,0 +1,175 @@
+// A serving replica: one TransformerLM variant behind its own
+// InferenceServer, wrapped with a circuit-breaker health state machine the
+// VariantRouter consults before dispatching.
+//
+// Health model (see docs/serving.md for the full diagram):
+//
+//   healthy --consecutive failures >= degraded_after--> degraded
+//   degraded --consecutive failures >= open_after-----> open
+//   open --cooldown_ms elapsed------------------------> half-open (probing)
+//   half-open --probe succeeds------------------------> healthy
+//   half-open --probe fails---------------------------> open (cooldown anew)
+//   any non-open state --success----------------------> healthy
+//
+// "Failure" means an outcome that is the replica's fault per the typed error
+// taxonomy (util/error): kFailed with internal/timeout kinds (hung worker,
+// NaN logits, decode exceptions). Backpressure (resource_exhausted shed /
+// reject) never trips the breaker — an overloaded replica is healthy, just
+// busy — it only raises a load penalty the router uses to spread requests.
+// Client-attributed outcomes (own-deadline expiry, cancellation) are neutral.
+//
+// The breaker is a standalone class so the state machine is unit-testable
+// with a fake clock, independent of any real server.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "nn/transformer.hpp"
+#include "serve/serve.hpp"
+
+namespace sdd::serve {
+
+enum class HealthState {
+  kHealthy,   // full traffic
+  kDegraded,  // recent failures; deprioritized but still dispatchable
+  kOpen,      // quarantined: no traffic until the cooldown expires
+  kHalfOpen,  // cooldown over: up to probe_max trial requests in flight
+};
+
+std::string_view health_state_name(HealthState state);
+
+struct BreakerConfig {
+  std::int64_t degraded_after = 1;  // consecutive failures -> degraded
+  std::int64_t open_after = 3;      // consecutive failures -> open
+  std::int64_t cooldown_ms = 250;   // quarantine before half-open probing
+  std::int64_t probe_max = 1;       // concurrent half-open trial requests
+
+  // Test seam: breaker time source (fake clocks make cooldown transitions
+  // deterministic). Defaults to steady_clock::now.
+  std::function<std::chrono::steady_clock::time_point()> now_fn;
+
+  // SDD_ROUTE_DEGRADED_FAILS, SDD_ROUTE_BREAKER_FAILS,
+  // SDD_ROUTE_BREAKER_COOLDOWN_MS, SDD_ROUTE_PROBE_MAX.
+  static BreakerConfig from_env();
+};
+
+// Thread-safe circuit breaker; every router dispatch brackets the request
+// with try_begin() .. record()/abandon() so probe accounting stays exact.
+class HealthBreaker {
+ public:
+  enum class Outcome {
+    kSuccess,       // completed generation
+    kFailure,       // replica-attributed failure (internal / hung / NaN)
+    kBackpressure,  // resource_exhausted shed/reject: busy, not broken
+    kNeutral,       // client-attributed (own deadline, cancel); no change
+  };
+
+  explicit HealthBreaker(BreakerConfig config);
+
+  HealthState state() const;
+
+  // Would a dispatch be admitted right now? Open counts as dispatchable once
+  // its cooldown has expired (the dispatch itself performs the half-open
+  // transition in try_begin). Peek only — takes no probe token.
+  bool dispatchable() const;
+
+  // Claims the right to dispatch one request. Returns false when the breaker
+  // is open (cooldown pending) or half-open with all probe tokens taken.
+  // On success *is_probe reports whether this request is a half-open probe;
+  // the caller must pass that flag back to record()/abandon().
+  bool try_begin(bool* is_probe);
+
+  // Applies one request outcome. Success resets the failure streak (and
+  // closes a half-open breaker); failure extends it (and re-opens a
+  // half-open breaker immediately); backpressure only bumps the load
+  // penalty; neutral releases the probe token and changes nothing else.
+  void record(Outcome outcome, bool is_probe);
+
+  // Releases a claimed dispatch that was never submitted (e.g. an injected
+  // pre-submit fault handled elsewhere). Equivalent to a neutral record.
+  void abandon(bool is_probe);
+
+  // Decaying count of recent backpressure events; the router prefers the
+  // least-loaded replica among equals. Halved on every success.
+  std::int64_t load_penalty() const;
+
+  std::int64_t consecutive_failures() const;
+  // Milliseconds until an open breaker half-opens; 0 when not open.
+  std::int64_t cooldown_remaining_ms() const;
+
+ private:
+  std::chrono::steady_clock::time_point now() const;
+
+  BreakerConfig config_;
+  mutable std::mutex mutex_;
+  HealthState state_ = HealthState::kHealthy;
+  std::int64_t fails_ = 0;          // consecutive replica-attributed failures
+  std::int64_t penalty_ = 0;        // decaying backpressure pressure
+  std::int64_t probes_inflight_ = 0;
+  std::chrono::steady_clock::time_point opened_at_{};
+};
+
+struct ReplicaStats {
+  std::int64_t dispatched = 0;        // requests routed here (incl. probes)
+  std::int64_t completed = 0;
+  std::int64_t breaker_failures = 0;  // replica-attributed failures
+  std::int64_t backpressure = 0;      // resource_exhausted shed/rejects
+  std::int64_t breaker_opens = 0;     // times the breaker tripped open
+  std::int64_t probes = 0;            // half-open trial dispatches
+  std::int64_t probe_successes = 0;   // probes that closed the breaker
+  double latency_ema_ms = 0.0;        // EMA of completed-request decode time
+};
+
+// One hosted variant: owns the model weights and the InferenceServer over
+// them, plus the breaker and per-replica routing stats. Not movable — the
+// server captures `this`-adjacent references; the router holds unique_ptrs.
+class Replica {
+ public:
+  Replica(std::string name, nn::TransformerLM model, double quality,
+          const ServerConfig& server_config, const BreakerConfig& breaker);
+
+  Replica(const Replica&) = delete;
+  Replica& operator=(const Replica&) = delete;
+
+  const std::string& name() const { return name_; }
+  double quality() const { return quality_; }
+  // Routing cost proxy: parameter count (a deeper variant decodes slower).
+  std::int64_t cost() const { return model_.param_count(); }
+  const nn::TransformerLM& model() const { return model_; }
+  InferenceServer& server() { return server_; }
+
+  HealthState health() const { return breaker_.state(); }
+  HealthBreaker& breaker() { return breaker_; }
+  const HealthBreaker& breaker() const { return breaker_; }
+
+  // try_begin + dispatch accounting in one step; false = breaker refused.
+  bool try_begin_dispatch(bool* is_probe);
+  TicketPtr submit(Request request) { return server_.submit(std::move(request)); }
+
+  // Feeds one terminal response back into the breaker and the stats.
+  void record_outcome(HealthBreaker::Outcome outcome, bool is_probe,
+                      const Response& response);
+  // Releases a claimed dispatch that never reached submit().
+  void abandon_dispatch(bool is_probe) { breaker_.abandon(is_probe); }
+
+  ReplicaStats stats() const;
+
+ private:
+  std::string name_;
+  double quality_;
+  // Declaration order matters: the server holds a reference to the model.
+  nn::TransformerLM model_;
+  InferenceServer server_;
+  HealthBreaker breaker_;
+
+  mutable std::mutex stats_mutex_;
+  ReplicaStats stats_;
+};
+
+}  // namespace sdd::serve

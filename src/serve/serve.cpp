@@ -185,7 +185,12 @@ std::int64_t InferenceServer::queue_depth() const {
 }
 
 ServerStats InferenceServer::stats() const {
-  const std::lock_guard<std::mutex> lock{stats_mutex_};
+  // Snapshot under the scheduler's queue lock too: submit() counts and
+  // dispositions a request inside one queue_mutex_ critical section, so a
+  // reader holding both locks can never observe a torn state where
+  // `submitted` includes a request whose immediate rejection/shed has not
+  // landed yet. scoped_lock orders the pair deadlock-free.
+  const std::scoped_lock lock{queue_mutex_, stats_mutex_};
   return stats_;
 }
 
@@ -200,65 +205,62 @@ TicketPtr InferenceServer::submit(Request request) {
                                       std::chrono::milliseconds{deadline_ms})
                                 : CancelToken::make();
   TicketPtr ticket{new Ticket{job}};
-  {
-    const std::lock_guard<std::mutex> lock{stats_mutex_};
-    ++stats_.submitted;
-  }
 
-  const auto prompt_len = static_cast<std::int64_t>(job->request.prompt.size());
-  if (prompt_len == 0) {
-    resolve(*job, RequestState::kRejected, ErrorKind::kFatal, "empty prompt");
-    return ticket;
-  }
-  if (prompt_len >= model_.config().max_seq_len) {
-    resolve(*job, RequestState::kRejected, ErrorKind::kFatal,
-            "prompt exceeds context window");
-    return ticket;
-  }
-
-  std::shared_ptr<detail::Job> shed_victim;
-  bool rejected_full = false;
-  bool rejected_stopping = false;
+  // One queue_mutex_ critical section covers the submitted counter AND the
+  // admission disposition (queue / shed / reject), so a stats() snapshot —
+  // which takes the same lock — can never read `submitted` torn from the
+  // matching terminal counter of an immediately-resolved request. The lock
+  // nesting here is queue_mutex_ -> job.mutex -> stats_mutex_ (via
+  // resolve), the only multi-lock order in this file.
+  bool queued = false;
   {
     const std::lock_guard<std::mutex> lock{queue_mutex_};
-    if (stopping_) {
-      rejected_stopping = true;
+    {
+      const std::lock_guard<std::mutex> stats_lock{stats_mutex_};
+      ++stats_.submitted;
+    }
+    const auto prompt_len =
+        static_cast<std::int64_t>(job->request.prompt.size());
+    if (prompt_len == 0) {
+      resolve(*job, RequestState::kRejected, ErrorKind::kFatal, "empty prompt");
+    } else if (prompt_len >= model_.config().max_seq_len) {
+      resolve(*job, RequestState::kRejected, ErrorKind::kFatal,
+              "prompt exceeds context window");
+    } else if (stopping_) {
+      resolve(*job, RequestState::kRejected, ErrorKind::kResourceExhausted,
+              "server shutting down");
     } else if (static_cast<std::int64_t>(queue_.size()) >=
                config_.queue_capacity) {
       // Overload: shed the lowest-priority queued request when the newcomer
       // strictly outranks it, otherwise reject the newcomer. Either way the
       // loser gets a typed, retryable resource_exhausted error and the
-      // queue never grows past capacity.
+      // queue never grows past capacity. min_element returns the FIRST
+      // minimal element, so among equal lowest-priority requests the oldest
+      // one is shed.
       auto victim = std::min_element(
           queue_.begin(), queue_.end(), [](const auto& a, const auto& b) {
             return a->request.priority < b->request.priority;
           });
       if (victim != queue_.end() &&
           (*victim)->request.priority < job->request.priority) {
-        shed_victim = *victim;
+        std::shared_ptr<detail::Job> shed_victim = *victim;
         queue_.erase(victim);
         queue_.push_back(job);
+        queued = true;
+        resolve(*shed_victim, RequestState::kShed,
+                ErrorKind::kResourceExhausted,
+                "shed in favor of a higher-priority request; retry later");
       } else {
-        rejected_full = true;
+        resolve(*job, RequestState::kRejected, ErrorKind::kResourceExhausted,
+                "queue full (capacity " +
+                    std::to_string(config_.queue_capacity) + "); retry later");
       }
     } else {
       queue_.push_back(job);
+      queued = true;
     }
   }
-  if (shed_victim) {
-    resolve(*shed_victim, RequestState::kShed, ErrorKind::kResourceExhausted,
-            "shed in favor of a higher-priority request; retry later");
-  }
-  if (rejected_full) {
-    resolve(*job, RequestState::kRejected, ErrorKind::kResourceExhausted,
-            "queue full (capacity " + std::to_string(config_.queue_capacity) +
-                "); retry later");
-  } else if (rejected_stopping) {
-    resolve(*job, RequestState::kRejected, ErrorKind::kResourceExhausted,
-            "server shutting down");
-  } else {
-    queue_cv_.notify_one();
-  }
+  if (queued) queue_cv_.notify_one();
   return ticket;
 }
 
@@ -268,7 +270,15 @@ void InferenceServer::shutdown() {
     stopping_ = true;
   }
   queue_cv_.notify_all();
-  if (worker_.joinable()) worker_.join();
+  // start() assigns worker_ under queue_mutex_; claim it the same way so a
+  // shutdown() racing start() (or another shutdown()) never reads a
+  // half-assigned std::thread or double-joins it.
+  std::thread worker;
+  {
+    const std::lock_guard<std::mutex> lock{queue_mutex_};
+    worker = std::move(worker_);
+  }
+  if (worker.joinable()) worker.join();
   // Without a worker (start() never ran, or it died) nothing drains the
   // queue; resolve leftovers so no client blocks forever.
   std::deque<std::shared_ptr<detail::Job>> leftover;

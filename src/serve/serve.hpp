@@ -176,6 +176,9 @@ class InferenceServer {
   // also run by the destructor.
   void shutdown();
 
+  // Coherent snapshot: taken under the same queue lock submit() uses to
+  // count and disposition a request, so counters are never torn (e.g.
+  // `submitted` including a rejection whose `rejected` tick hasn't landed).
   ServerStats stats() const;
 
   // Bytes of KV cache one decode slot pins (all layers, full context).
@@ -217,7 +220,7 @@ class InferenceServer {
   mutable std::mutex stats_mutex_;
   ServerStats stats_;
 
-  std::thread worker_;
+  std::thread worker_;  // assigned/claimed under queue_mutex_
   bool worker_started_ = false;
 };
 

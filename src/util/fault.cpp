@@ -32,6 +32,7 @@ struct State {
   std::atomic<std::int64_t> logit_checks{0};
   std::atomic<std::int64_t> fleet_claims{0};
   std::atomic<std::int64_t> fleet_completions{0};
+  std::atomic<std::int64_t> replica_dispatches{0};
   std::mutex rng_mutex;
   Rng rng{0};
 };
@@ -66,7 +67,9 @@ void init_from_env() {
                 "crash_at_step:N, crash_at_io:N, hang_at_step:N, "
                 "nan_at_step:N, slow_io:ms=M, alloc_fail:at=N, "
                 "hang_decode:N, nan_decode:N, worker_kill9:at=N, "
-                "worker_stall:N, claim_race, orch_crash:N, mode:throw|exit, "
+                "worker_stall:N, claim_race, orch_crash:N, "
+                "replica_fail:at=N, replica_fail_n:K, replica_idx:I, "
+                "replica_slow:MS, breaker_flap, mode:throw|exit, "
                 "seed:N (comma-combined)");
       std::exit(64);  // EX_USAGE
     }
@@ -175,6 +178,29 @@ FaultConfig parse_fault_spec(const std::string& spec) {
     } else if (name == "orch_crash") {
       const std::string at = arg.rfind("at=", 0) == 0 ? arg.substr(3) : arg;
       config.orch_crash_at = parse_int(at, directive);
+    } else if (name == "replica_fail") {
+      // accepts "replica_fail:at=2" and "replica_fail:2"
+      const std::string at = arg.rfind("at=", 0) == 0 ? arg.substr(3) : arg;
+      config.replica_fail_at = parse_int(at, directive);
+    } else if (name == "replica_fail_n") {
+      config.replica_fail_count = parse_int(arg, directive);
+      if (config.replica_fail_count < 1) {
+        throw std::invalid_argument("fault: bad window in '" + directive + "'");
+      }
+    } else if (name == "replica_idx") {
+      config.replica_fault_index = parse_int(arg, directive);
+      if (config.replica_fault_index < 0) {
+        throw std::invalid_argument("fault: bad index in '" + directive + "'");
+      }
+    } else if (name == "replica_slow") {
+      // accepts "replica_slow:ms=30" and "replica_slow:30"
+      const std::string ms = arg.rfind("ms=", 0) == 0 ? arg.substr(3) : arg;
+      config.replica_slow_ms = parse_int(ms, directive);
+      if (config.replica_slow_ms < 0) {
+        throw std::invalid_argument("fault: negative delay in '" + directive + "'");
+      }
+    } else if (name == "breaker_flap") {
+      config.breaker_flap = true;
     } else if (name == "hang_cap") {
       config.hang_cap_ms = parse_int(arg, directive);
     } else if (name == "mode") {
@@ -205,6 +231,7 @@ void configure(const FaultConfig& config) {
   s.logit_checks.store(0, std::memory_order_relaxed);
   s.fleet_claims.store(0, std::memory_order_relaxed);
   s.fleet_completions.store(0, std::memory_order_relaxed);
+  s.replica_dispatches.store(0, std::memory_order_relaxed);
   {
     const std::lock_guard<std::mutex> lock{s.rng_mutex};
     s.rng.reseed(config.seed);
@@ -392,6 +419,39 @@ void on_fleet_completion() {
   if (done == s.config.orch_crash_at) {
     crash("fleet_completion", done);
   }
+}
+
+bool should_fail_replica(std::int64_t index) {
+  if (!enabled()) return false;
+  State& s = state();
+  if (s.config.replica_fail_at < 0 && !s.config.breaker_flap) return false;
+  if (index != s.config.replica_fault_index) return false;
+  // The ordinal only advances for dispatches to the target replica, so the
+  // failure window is stable regardless of how much traffic the healthy
+  // replicas absorb meanwhile.
+  const std::int64_t ordinal =
+      s.replica_dispatches.fetch_add(1, std::memory_order_relaxed);
+  bool fail = false;
+  if (s.config.breaker_flap) {
+    // Bursts of three consecutive failures (the default breaker threshold):
+    // the breaker genuinely opens, probes half-open, closes, and re-opens.
+    fail = (ordinal / 3) % 2 == 1;
+  } else {
+    fail = ordinal >= s.config.replica_fail_at &&
+           ordinal < s.config.replica_fail_at + s.config.replica_fail_count;
+  }
+  if (fail) {
+    log_warn("fault: failing router dispatch #", ordinal, " to replica ",
+             index);
+  }
+  return fail;
+}
+
+std::int64_t replica_dispatch_delay_ms(std::int64_t index) {
+  if (!enabled()) return 0;
+  State& s = state();
+  if (s.config.replica_slow_ms <= 0) return 0;
+  return index == s.config.replica_fault_index ? s.config.replica_slow_ms : 0;
 }
 
 }  // namespace sdd::fault

@@ -46,6 +46,25 @@
 //   SDD_FAULT="orch_crash:N"        the fleet orchestrator dies after
 //                                   observing its Nth completed task; a
 //                                   restart must resume from queue state
+//   SDD_FAULT="replica_fail:at=N"   router dispatches to the target replica
+//                                   (replica_idx, default 0) fail before
+//                                   reaching its queue, starting at the Nth
+//                                   dispatch to it, for replica_fail_n
+//                                   consecutive dispatches (default 6) — long
+//                                   enough to trip the circuit breaker; the
+//                                   replica then "recovers" and half-open
+//                                   probes succeed
+//   SDD_FAULT="replica_fail_n:K"    width of the replica_fail failure window
+//   SDD_FAULT="replica_idx:I"       which replica index the replica faults
+//                                   target (default 0)
+//   SDD_FAULT="replica_slow:MS"     transit to the target replica is slow:
+//                                   the router delays a request's first
+//                                   dispatch to it by MS ms (non-blocking
+//                                   not_before gate, never stalls others)
+//   SDD_FAULT="breaker_flap"        dispatches to the target replica fail in
+//                                   bursts of three (ordinals 3-5, 9-11, ...)
+//                                   so its breaker repeatedly opens, probes
+//                                   closed, and re-opens
 //   SDD_FAULT="mode:throw"          crash by throwing FaultCrash instead of
 //                                   _Exit(137) (for in-process tests)
 //   SDD_FAULT="seed:N"              seed for the io_fail coin
@@ -89,6 +108,11 @@ struct FaultConfig {
   std::int64_t worker_stall_at = -1;  // go lease-silent at this fleet claim
   bool claim_race = false;            // force fleet claim contention
   std::int64_t orch_crash_at = -1;  // orchestrator dies at Nth completion
+  std::int64_t replica_fault_index = 0;  // replica the router faults target
+  std::int64_t replica_fail_at = -1;  // fail target dispatches from this one
+  std::int64_t replica_fail_count = 6;   // width of the failure window
+  std::int64_t replica_slow_ms = 0;   // transit delay to the target replica
+  bool breaker_flap = false;          // fail target dispatches in bursts of 3
   std::int64_t hang_cap_ms = 60'000;  // safety cap for an unwatched hang
   CrashMode mode = CrashMode::kExit;
   std::uint64_t seed = 0x5DDFA017ULL;
@@ -98,7 +122,8 @@ struct FaultConfig {
            crash_at_io >= 0 || hang_at_step >= 0 || nan_at_step >= 0 ||
            slow_io_ms > 0 || alloc_fail_at >= 0 || hang_decode >= 0 ||
            nan_decode >= 0 || worker_kill9_at >= 0 || worker_stall_at >= 0 ||
-           claim_race || orch_crash_at >= 0;
+           claim_race || orch_crash_at >= 0 || replica_fail_at >= 0 ||
+           replica_slow_ms > 0 || breaker_flap;
   }
 };
 
@@ -177,5 +202,18 @@ bool claim_race_armed();
 // Called by the fleet orchestrator each time it observes a newly completed
 // task (per-process counter). Handles orch_crash_at.
 void on_fleet_completion();
+
+// Called by the variant router just before submitting to replica `index`.
+// Returns true when the dispatch must be treated as a replica failure
+// (replica_fail window or breaker_flap burst on the target replica); the
+// router records a breaker failure and fails the request over. The dispatch
+// ordinal counter only advances for the target replica while one of the two
+// directives is armed.
+bool should_fail_replica(std::int64_t index);
+
+// Transit delay for a router dispatch to replica `index`: replica_slow_ms
+// for the target replica, 0 otherwise. Stateless; the router applies it as
+// a non-blocking not_before gate (one delay per request).
+std::int64_t replica_dispatch_delay_ms(std::int64_t index);
 
 }  // namespace sdd::fault

@@ -153,6 +153,76 @@ TEST(Serve, ShedsLowestPriorityForHigherPriorityArrival) {
   EXPECT_EQ(server.stats().shed, 1);
 }
 
+TEST(Serve, ShedTieBreaksOldestOfEqualLowestPriority) {
+  const nn::TransformerLM model{tiny_config(), 47};
+  ServerConfig config;
+  config.queue_capacity = 2;
+  config.start_worker = false;
+  InferenceServer server{model, config};
+
+  Request first = request_for(11);
+  first.priority = 0;
+  Request second = request_for(12);
+  second.priority = 0;
+  auto first_ticket = server.submit(first);
+  auto second_ticket = server.submit(second);
+  Request high = request_for(13);
+  high.priority = 3;
+  auto high_ticket = server.submit(high);
+
+  // Several queued requests tie for lowest priority: the tie-break is
+  // deterministic and FIFO-fair — the OLDEST of them is shed (it has had
+  // the longest shot at a slot), never an arbitrary queue position.
+  EXPECT_EQ(first_ticket->state(), RequestState::kShed);
+  EXPECT_EQ(second_ticket->state(), RequestState::kQueued);
+  EXPECT_EQ(high_ticket->state(), RequestState::kQueued);
+
+  server.start();
+  EXPECT_EQ(wait_resolved(*second_ticket).state, RequestState::kCompleted);
+  EXPECT_EQ(wait_resolved(*high_ticket).state, RequestState::kCompleted);
+  EXPECT_EQ(server.stats().shed, 1);
+}
+
+TEST(Serve, WaitForZeroTimeoutIsAnExactBoundary) {
+  const nn::TransformerLM model{tiny_config(), 48};
+  ServerConfig config;
+  config.start_worker = false;  // the request provably stays pending
+  InferenceServer server{model, config};
+  auto ticket = server.submit(request_for(14));
+
+  // A zero timeout is the boundary case: wait_for must return immediately
+  // with "still pending" — no block, no spurious success.
+  EXPECT_FALSE(ticket->wait_for(0ms));
+  EXPECT_EQ(ticket->state(), RequestState::kQueued);
+
+  server.start();
+  ASSERT_TRUE(ticket->wait_for(kWait));
+  // Once terminal, the same zero timeout reports success without blocking.
+  EXPECT_TRUE(ticket->wait_for(0ms));
+  EXPECT_EQ(ticket->wait().state, RequestState::kCompleted);
+}
+
+TEST(Serve, DeadlineAlreadyExpiredAtAdmissionTimesOutTyped) {
+  const nn::TransformerLM model{tiny_config(), 49};
+  ServerConfig config;
+  config.start_worker = false;
+  InferenceServer server{model, config};
+  Request doomed = request_for(15);
+  doomed.deadline_ms = 1;
+  auto ticket = server.submit(doomed);
+  // Let the deadline elapse before the scheduler first sees the queue: the
+  // expiry check is >=, so a deadline that lands exactly on the admission
+  // instant counts as expired — zero tokens, typed timeout, never kRunning.
+  std::this_thread::sleep_for(10ms);
+  server.start();
+  const Response& response = wait_resolved(*ticket);
+  EXPECT_EQ(response.state, RequestState::kTimeout);
+  ASSERT_TRUE(response.error.has_value());
+  EXPECT_EQ(*response.error, ErrorKind::kTimeout);
+  EXPECT_TRUE(response.tokens.empty());
+  EXPECT_TRUE(response.retryable);
+}
+
 // Heavy enough that decoding its full token budget takes far longer than the
 // deadlines used below, so a tight deadline provably expires before the
 // request can complete (usually mid-generation, at worst while queued —
