@@ -8,6 +8,7 @@
 #include "core/prune.hpp"
 #include "data/corpus.hpp"
 #include "nn/decode.hpp"
+#include "nn/speculative.hpp"
 #include "tensor/kernels.hpp"
 #include "tensor/ops.hpp"
 #include "train/trainer.hpp"
@@ -149,6 +150,95 @@ void BM_DecodeTokensPerSecond(benchmark::State& state) {
   state.SetItemsProcessed(tokens);
 }
 BENCHMARK(BM_DecodeTokensPerSecond)->Unit(benchmark::kMillisecond);
+
+// Speculative decode is a memory-bandwidth play: the batched verify pass
+// streams each target weight row once for k tokens (gemm_nt_rowwise) where
+// plain decode streams it k times, so the win only exists when the weights
+// don't fit in cache. The small bench_config() is compute-bound and shows
+// parity by design; this config is sized so one model exceeds the LLC and
+// a decode step is bound by weight traffic, the regime the serving layer
+// targets.
+nn::ModelConfig spec_bench_config() {
+  nn::ModelConfig config;
+  config.vocab_size = data::Vocab::instance().size();
+  config.d_model = 1024;
+  config.n_heads = 8;
+  config.n_layers = 8;
+  config.d_ff = 2048;
+  config.max_seq_len = 96;
+  return config;
+}
+
+// Plain greedy decode on spec_bench_config(): the baseline row that
+// BM_SpecDecode's items_per_second is read against.
+void BM_SpecDecodePlain(benchmark::State& state) {
+  const nn::TransformerLM model{spec_bench_config(), 1};
+  const std::vector<std::int32_t> prompt{2, 11, 29, 7};
+  nn::GenerateOptions options;
+  options.max_new_tokens = 48;
+  options.temperature = 0.0F;
+  NoGradGuard no_grad;
+  std::int64_t tokens = 0;
+  for (auto _ : state) {
+    const auto out = nn::generate(model, prompt, options);
+    benchmark::DoNotOptimize(out.data());
+    tokens += static_cast<std::int64_t>(out.size());
+  }
+  state.SetItemsProcessed(tokens);
+}
+BENCHMARK(BM_SpecDecodePlain)->Unit(benchmark::kMillisecond);
+
+// Self-speculative decode throughput (nn::speculative_generate). Arg0 is the
+// number of contiguous middle blocks pruned from the draft; Arg1 selects the
+// oracle variant, which zeroes those blocks' output projections in the
+// target first so the residual stream passes through them unchanged — the
+// pruned draft then agrees with the target exactly, the acceptance ceiling a
+// perfectly self-data-distilled draft would reach. /4/0 is the random-weight
+// acceptance floor; /4/1 the ceiling, which must beat BM_SpecDecodePlain's
+// items_per_second (the ISSUE's acceptance>=0.7 speedup criterion). The
+// acceptance counter reports accepted/proposed.
+void BM_SpecDecode(benchmark::State& state) {
+  const std::int64_t pruned = state.range(0);
+  const bool oracle = state.range(1) != 0;
+  nn::TransformerLM target{spec_bench_config(), 1};
+  const std::int64_t start = (target.n_layers() - pruned) / 2;
+  if (oracle) {
+    for (std::int64_t b = start; b < start + pruned; ++b) {
+      auto& block = target.block(static_cast<std::size_t>(b));
+      for (Tensor* w : {&block.attention().wo().weight(),
+                        &block.mlp().w_down().weight()}) {
+        for (auto& v : w->data()) v = 0.0F;
+      }
+    }
+  }
+  const nn::TransformerLM draft =
+      pruned == 0 ? target.clone() : target.pruned(start, pruned);
+  const std::vector<std::int32_t> prompt{2, 11, 29, 7};
+  nn::GenerateOptions options;
+  options.max_new_tokens = 48;
+  options.temperature = 0.0F;
+  NoGradGuard no_grad;
+  std::int64_t tokens = 0;
+  nn::SpecCounters totals;
+  for (auto _ : state) {
+    nn::SpecCounters counters;
+    const auto out =
+        nn::speculative_generate(target, draft, prompt, options, 4, &counters);
+    benchmark::DoNotOptimize(out.data());
+    tokens += static_cast<std::int64_t>(out.size());
+    totals.add(counters);
+  }
+  state.SetItemsProcessed(tokens);
+  state.counters["acceptance"] = benchmark::Counter(
+      totals.proposed == 0
+          ? 0.0
+          : static_cast<double>(totals.accepted) /
+                static_cast<double>(totals.proposed));
+}
+BENCHMARK(BM_SpecDecode)
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_PruneMetric(benchmark::State& state) {
   const nn::TransformerLM model{bench_config(), 1};

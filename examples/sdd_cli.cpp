@@ -13,6 +13,8 @@
 //                    [--quality digest.txt] --prompt "..." [--task gsm8k]
 //                    [--count 4] [--deadline 50] [--pin p1] [--max-tokens 48]
 //                    [--temperature 0]
+//   sdd_cli speculate --target full.bin --drafts p2.bin,p4.bin [--names a,b]
+//                    --prompt "..." [--k 4] [--max-tokens 48]
 //   sdd_cli info     --model model.bin
 //   sdd_cli fleet-worker --dir <queue dir> --worker <id>   (internal: spawned
 //                    by the fleet orchestrator, not meant to be run by hand)
@@ -28,6 +30,7 @@
 // SIGTERM/SIGINT request a graceful shutdown: in-flight stages observe the
 // flag at their next heartbeat, unwind with Error{interrupted}, and the
 // process exits 72 (a second signal hard-exits 128+signo immediately).
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <map>
@@ -39,6 +42,7 @@
 #include "eval/suite.hpp"
 #include "fleet/stages.hpp"
 #include "nn/decode.hpp"
+#include "nn/speculative.hpp"
 #include "serve/router.hpp"
 #include "util/error.hpp"
 #include "util/serialize.hpp"
@@ -363,6 +367,81 @@ int cmd_route(const Args& args) {
   return 0;
 }
 
+// Self-speculative decode sweep: each draft (typically the same model pruned
+// at increasing depths) proposes --k tokens per round, the target verifies.
+// Reports per-draft acceptance rate and the tokens/sec speedup over the
+// target's plain greedy decode, and fails loudly (numeric_divergence, exit
+// 76) if any speculative output is not bit-identical to the plain decode —
+// the invariant the whole mode rests on.
+int cmd_speculate(const Args& args) {
+  using SteadyClock = std::chrono::steady_clock;
+  const nn::TransformerLM target = nn::TransformerLM::load(args.at("target"));
+  const std::vector<std::string> paths = split_csv(args.at("drafts"));
+  if (paths.empty()) {
+    throw std::invalid_argument("--drafts needs at least one model file");
+  }
+  std::vector<std::string> names = split_csv(arg_or(args, "names", ""));
+  if (!names.empty() && names.size() != paths.size()) {
+    throw std::invalid_argument("--names count must match --drafts count");
+  }
+
+  const data::Vocab& vocab = data::Vocab::instance();
+  std::vector<data::TokenId> prompt;
+  prompt.push_back(vocab.bos());
+  const auto body = vocab.encode(args.at("prompt"));
+  prompt.insert(prompt.end(), body.begin(), body.end());
+  prompt.push_back(vocab.sep());
+
+  nn::GenerateOptions options;
+  options.max_new_tokens = arg_int(args, "max-tokens", 48);
+  options.stop_token = vocab.eos();
+  const std::int64_t k = arg_int(args, "k", 4);
+
+  const SteadyClock::time_point plain_start = SteadyClock::now();
+  const auto reference = nn::generate(target, prompt, options);
+  const double plain_s =
+      std::chrono::duration<double>(SteadyClock::now() - plain_start).count();
+  const double plain_tps =
+      plain_s > 0.0 ? static_cast<double>(reference.size()) / plain_s : 0.0;
+  std::printf("target: %lld layers, %zu tokens, %.1f tok/s (plain greedy)\n",
+              static_cast<long long>(target.n_layers()), reference.size(),
+              plain_tps);
+
+  TablePrinter table{{"draft", "layers", "acceptance", "accepted/proposed",
+                      "tok/s", "speedup", "identical"}};
+  bool all_identical = true;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    const nn::TransformerLM draft = nn::TransformerLM::load(paths[i]);
+    const std::string name =
+        i < names.size() ? names[i]
+                         : std::filesystem::path{paths[i]}.stem().string();
+    nn::SpecCounters counters;
+    const SteadyClock::time_point start = SteadyClock::now();
+    const auto output =
+        nn::speculative_generate(target, draft, prompt, options, k, &counters);
+    const double spec_s =
+        std::chrono::duration<double>(SteadyClock::now() - start).count();
+    const double spec_tps =
+        spec_s > 0.0 ? static_cast<double>(output.size()) / spec_s : 0.0;
+    const bool identical = output == reference;
+    all_identical = all_identical && identical;
+    table.add_row({name, std::to_string(draft.n_layers()),
+                   format_float(counters.acceptance_rate() * 100.0) + "%",
+                   std::to_string(counters.accepted) + "/" +
+                       std::to_string(counters.proposed),
+                   format_float(spec_tps),
+                   plain_tps > 0.0 ? format_float(spec_tps / plain_tps) + "x"
+                                   : "-",
+                   identical ? "yes" : "NO"});
+  }
+  std::printf("%s", table.to_ascii().c_str());
+  if (!all_identical) {
+    throw Error(ErrorKind::kNumericDivergence,
+                "speculative output diverged from the target's greedy decode");
+  }
+  return 0;
+}
+
 int cmd_info(const Args& args) {
   const nn::TransformerLM model = nn::TransformerLM::load(args.at("model"));
   const nn::ModelConfig& config = model.config();
@@ -378,8 +457,8 @@ int cmd_info(const Args& args) {
 void usage() {
   std::printf(
       "usage: sdd_cli "
-      "<pretrain|prune|distill|recover|merge|eval|generate|route|info|"
-      "fleet-worker> "
+      "<pretrain|prune|distill|recover|merge|eval|generate|route|speculate|"
+      "info|fleet-worker> "
       "[--flag value ...]\n(see the header comment of examples/sdd_cli.cpp)\n");
 }
 
@@ -404,6 +483,7 @@ int main(int argc, char** argv) {
     if (command == "eval") return cmd_eval(args);
     if (command == "generate") return cmd_generate(args);
     if (command == "route") return cmd_route(args);
+    if (command == "speculate") return cmd_speculate(args);
     if (command == "info") return cmd_info(args);
     if (command == "fleet-worker") return cmd_fleet_worker(args);
     usage();

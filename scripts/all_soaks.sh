@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Run every chaos soak in one pass, each against the build flavor it was
+# designed for, with one log file per soak:
+#
+#   fault_soak   release   pipeline stage crashes / NaN / flaky store
+#   fleet_soak   release   worker kill -9, claim races, orchestrator restart
+#   serve_soak   tsan      concurrent serving faults under the race detector
+#   router_soak  tsan      replica kill/slow/flap under the race detector
+#   spec_soak    tsan      speculative decode bit-identity under rejection
+#                          storms and draft NaNs
+#
+# This is a pure runner: it does not configure or compile anything, so a CI
+# job (or a local run) builds the two trees once and fans the soaks out from
+# them. A soak whose binary is missing fails its case with the build hint in
+# the log rather than aborting the whole pass.
+#
+# Usage: scripts/all_soaks.sh [release-build-dir] [tsan-build-dir] [log-dir]
+#
+# Exit status: 0 when every soak passed, 1 otherwise. Per-soak stdout+stderr
+# land in <log-dir>/<soak>.log (default: ./soak-logs) so CI can upload them
+# as artifacts on failure.
+set -uo pipefail
+
+HERE="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+source "${HERE}/soak_lib.sh"
+
+RELEASE="${1:-build}"
+TSAN="${2:-build-tsan}"
+LOGS="${3:-soak-logs}"
+mkdir -p "${LOGS}"
+
+run_soak() { # name script build-dir
+  local name="$1" script="$2" build="$3"
+  local log="${LOGS}/${name}.log"
+  echo "== ${name} (${build}) -> ${log}"
+  if "${HERE}/${script}" "${build}" >"${log}" 2>&1; then
+    soak_report "${name}" ok
+  else
+    echo "   FAILED (exit $?); last lines of ${log}:"
+    tail -n 20 "${log}" | sed 's/^/   | /'
+    soak_report "${name}" bad
+  fi
+}
+
+run_soak fault_soak fault_soak.sh "${RELEASE}"
+run_soak fleet_soak fleet_soak.sh "${RELEASE}"
+run_soak serve_soak serve_soak.sh "${TSAN}"
+run_soak router_soak router_soak.sh "${TSAN}"
+run_soak spec_soak spec_soak.sh "${TSAN}"
+
+soak_summary "all soaks"

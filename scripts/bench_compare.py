@@ -57,6 +57,15 @@ def load_benchmarks(path: str) -> dict[str, dict]:
     return out
 
 
+def print_inventory(path: str, benches: dict[str, dict]) -> None:
+    """Print the --list view of one file: every tracked benchmark name."""
+    key = [n for n in benches if n.startswith(KEY_PREFIXES)]
+    print(f"{path}: {len(benches)} benchmark(s), {len(key)} key")
+    for name in sorted(benches):
+        marker = "  [key]" if name.startswith(KEY_PREFIXES) else ""
+        print(f"  {name}{marker}")
+
+
 def metric(bench: dict) -> tuple[str, float, bool] | None:
     """Return (metric-name, value, higher_is_better), or None when the row
     reports neither items_per_second nor real_time (malformed JSON row)."""
@@ -95,16 +104,21 @@ def main() -> int:
         action="store_true",
         help=f"only flag the key kernels ({', '.join(KEY_PREFIXES)})",
     )
+    parser.add_argument(
+        "--missing",
+        choices=("ignore", "fail"),
+        default="ignore",
+        help="'fail' exits 1 (even with --mode=warn) when a baseline benchmark "
+        "is absent from the current run — a renamed or deleted benchmark "
+        "silently drops out of the regression gate otherwise. With --key-only "
+        "the check is restricted to the key kernels, so a CI run that filters "
+        "to a subset still gates correctly.",
+    )
     args = parser.parse_args()
 
     if args.list:
         for path in [args.baseline] + ([args.current] if args.current else []):
-            benches = load_benchmarks(path)
-            key = [n for n in benches if n.startswith(KEY_PREFIXES)]
-            print(f"{path}: {len(benches)} benchmark(s), {len(key)} key")
-            for name in sorted(benches):
-                marker = "  [key]" if name.startswith(KEY_PREFIXES) else ""
-                print(f"  {name}{marker}")
+            print_inventory(path, load_benchmarks(path))
         return 0
     if args.current is None:
         parser.error("CURRENT.json is required unless --list is given")
@@ -167,6 +181,29 @@ def main() -> int:
     if added:
         print(f"bench_compare: {len(added)} benchmark(s) only in current run "
               f"(added?): {', '.join(added)}")
+
+    if args.missing == "fail":
+        gated = [
+            n for n in removed
+            if not args.key_only or n.startswith(KEY_PREFIXES)
+        ]
+        if gated:
+            # Print the full name inventory (the --list view) so the failure
+            # log shows exactly what each file tracks, not just the delta.
+            print(
+                f"\nbench_compare: {len(gated)} gated benchmark(s) "
+                f"disappeared from the current run: {', '.join(gated)}",
+                file=sys.stderr,
+            )
+            print_inventory(args.baseline, baseline)
+            print_inventory(args.current, current)
+            print(
+                "bench_compare: a benchmark the baseline tracks no longer "
+                "runs — rename the baseline entry or regenerate "
+                "BENCH_substrate.json (scripts/bench_baseline.sh)",
+                file=sys.stderr,
+            )
+            return 1
 
     if compared == 0:
         print("bench_compare: no comparable benchmarks found", file=sys.stderr)

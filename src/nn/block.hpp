@@ -58,6 +58,14 @@ class CausalSelfAttention {
   // Single-token decode step: x is one [C] vector at position `pos`.
   void step(const float* x, float* out, LayerKVCache& cache, std::int64_t pos) const;
 
+  // Multi-token decode span: x/out are [count, C] rows for consecutive
+  // positions pos..pos+count-1. The linear projections batch over the span
+  // (each weight row streamed once) while the attention mixing itself stays
+  // causally sequential per token; the result is bitwise-identical to
+  // `count` successive step() calls. Used by the speculative verify pass.
+  void step_span(const float* x, float* out, LayerKVCache& cache, std::int64_t pos,
+                 std::int64_t count) const;
+
   Linear& wq() { return wq_; }
   Linear& wk() { return wk_; }
   Linear& wv() { return wv_; }
@@ -82,6 +90,8 @@ class SwiGluMlp {
 
   Tensor forward(const Tensor& x) const;
   void step(const float* x, float* out) const;  // single [C] vector
+  // Row-batched step, bitwise-identical to `count` single-row step() calls.
+  void step_span(const float* x, float* out, std::int64_t count) const;
 
   Linear& w_gate() { return w_gate_; }
   Linear& w_up() { return w_up_; }
@@ -105,6 +115,11 @@ class TransformerBlock {
 
   // In-place single-token decode step on x[C].
   void step(float* x, LayerKVCache& cache, std::int64_t pos) const;
+
+  // In-place decode over `count` consecutive tokens x[count, C] at positions
+  // pos..pos+count-1; bitwise-identical to `count` step() calls.
+  void step_span(float* x, LayerKVCache& cache, std::int64_t pos,
+                 std::int64_t count) const;
 
   CausalSelfAttention& attention() { return attn_; }
   SwiGluMlp& mlp() { return mlp_; }

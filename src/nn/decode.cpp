@@ -49,12 +49,15 @@ std::vector<std::int32_t> generate(const TransformerLM& model,
   Rng rng{options.seed};
 
   auto state = model.make_decode_state();
-  std::vector<float> logits;
-  for (std::int32_t token : prompt) {
-    supervisor::heartbeat();
-    if (options.cancel.cancelled()) return {};
-    logits = model.decode_step(state, token);
-  }
+  supervisor::heartbeat();
+  if (options.cancel.cancelled()) return {};
+  // Batched prefill: one decode_span pass streams each weight row once for
+  // the whole prompt (bitwise-identical to per-token decode_step); only the
+  // final row predicts the first generated token.
+  const std::vector<float> rows = model.decode_span(state, prompt);
+  const std::size_t vocab = static_cast<std::size_t>(model.config().vocab_size);
+  std::vector<float> logits(rows.end() - static_cast<std::ptrdiff_t>(vocab),
+                            rows.end());
 
   std::vector<std::int32_t> generated;
   const std::int64_t budget =

@@ -39,6 +39,23 @@ void Linear::apply(const float* x, float* y, std::int64_t rows) const {
   }
 }
 
+void Linear::apply_rowwise(const float* x, float* y, std::int64_t rows) const {
+  const std::int64_t in = in_features();
+  const std::int64_t out = out_features();
+  kernels::gemm_nt_rowwise(x, weight_.data().data(), y, rows, in, out,
+                           /*accumulate=*/false);
+  if (lora_) {
+    const std::int64_t rank = lora_->a.dim(0);
+    std::vector<float> low_rank(static_cast<std::size_t>(rows * rank));
+    kernels::gemm_nt_rowwise(x, lora_->a.data().data(), low_rank.data(), rows, in,
+                             rank, /*accumulate=*/false);
+    std::vector<float> delta(static_cast<std::size_t>(rows * out));
+    kernels::gemm_nt_rowwise(low_rank.data(), lora_->b.data().data(), delta.data(),
+                             rows, rank, out, /*accumulate=*/false);
+    kernels::axpy(lora_->scale, delta.data(), y, rows * out, /*accumulate=*/true);
+  }
+}
+
 void Linear::attach_lora(std::int64_t rank, float alpha, Rng& rng) {
   if (lora_) throw std::logic_error("Linear: LoRA adapter already attached");
   const std::int64_t in = in_features();

@@ -68,6 +68,17 @@ void TransformerLM::DecodeState::reset() {
   position = 0;
 }
 
+void TransformerLM::DecodeState::rollback(std::int64_t target) {
+  if (target < 0 || target > position) {
+    throw std::invalid_argument("DecodeState::rollback: position " +
+                                std::to_string(target) +
+                                " out of range (current " +
+                                std::to_string(position) + ")");
+  }
+  for (LayerKVCache& cache : caches) cache.length = target;
+  position = target;
+}
+
 TransformerLM::DecodeState TransformerLM::make_decode_state() const {
   DecodeState state;
   state.caches.resize(blocks_.size());
@@ -113,6 +124,38 @@ std::vector<float> TransformerLM::decode_step(DecodeState& state,
   std::vector<float> logits(static_cast<std::size_t>(config_.vocab_size));
   kernels::gemm_nt(normed.data(), tok_embed_.data().data(), logits.data(), 1, channels,
                    config_.vocab_size, /*accumulate=*/false);
+  return logits;
+}
+
+std::vector<float> TransformerLM::decode_span(
+    DecodeState& state, std::span<const std::int32_t> tokens) const {
+  const auto count = static_cast<std::int64_t>(tokens.size());
+  if (count == 0) return {};
+  if (state.position + count > config_.max_seq_len) {
+    throw std::logic_error("decode_span: exceeded max sequence length");
+  }
+  const std::int64_t channels = config_.d_model;
+  std::vector<float> x(static_cast<std::size_t>(count * channels));
+  for (std::int64_t t = 0; t < count; ++t) {
+    const std::int32_t token = tokens[static_cast<std::size_t>(t)];
+    if (token < 0 || token >= config_.vocab_size) {
+      throw std::invalid_argument("decode_span: token out of range");
+    }
+    std::memcpy(x.data() + t * channels, tok_embed_.data().data() + token * channels,
+                static_cast<std::size_t>(channels) * sizeof(float));
+  }
+
+  for (std::size_t l = 0; l < blocks_.size(); ++l) {
+    blocks_[l]->step_span(x.data(), state.caches[l], state.position, count);
+  }
+  state.position += count;
+
+  std::vector<float> normed(static_cast<std::size_t>(count * channels));
+  final_norm_.apply(x.data(), normed.data(), count, config_.rmsnorm_eps);
+  std::vector<float> logits(static_cast<std::size_t>(count * config_.vocab_size));
+  kernels::gemm_nt_rowwise(normed.data(), tok_embed_.data().data(), logits.data(),
+                           count, channels, config_.vocab_size,
+                           /*accumulate=*/false);
   return logits;
 }
 

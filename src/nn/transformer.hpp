@@ -61,11 +61,23 @@ class TransformerLM {
     std::vector<LayerKVCache> caches;
     std::int64_t position = 0;
     void reset();
+    // Rewind to an earlier position, discarding the later cached keys and
+    // values (speculative rollback after rejected draft tokens). The stale
+    // cache tail is overwritten before it can be read, so decoding after a
+    // rollback is bit-identical to never having decoded past `position`.
+    void rollback(std::int64_t position);
   };
 
   DecodeState make_decode_state() const;
   // Feed one token; returns the next-token logits [vocab].
   std::vector<float> decode_step(DecodeState& state, std::int32_t token) const;
+  // Feed `tokens` consecutively and return all next-token logits as a
+  // [tokens.size(), vocab] row-major buffer — the speculative verify pass.
+  // Linear projections and the output head batch over the span (each weight
+  // row streamed once) while attention stays causally sequential, and the
+  // result is bitwise-identical to calling decode_step() per token.
+  std::vector<float> decode_span(DecodeState& state,
+                                 std::span<const std::int32_t> tokens) const;
 
   // ---- structural surgery ----------------------------------------------
   TransformerLM clone() const;

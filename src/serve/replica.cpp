@@ -152,11 +152,12 @@ std::int64_t HealthBreaker::cooldown_remaining_ms() const {
 
 Replica::Replica(std::string name, nn::TransformerLM model, double quality,
                  const ServerConfig& server_config,
-                 const BreakerConfig& breaker)
+                 const BreakerConfig& breaker,
+                 const nn::TransformerLM* draft)
     : name_{std::move(name)},
       quality_{quality},
       model_{std::move(model)},
-      server_{model_, server_config},
+      server_{model_, server_config, draft},
       breaker_{breaker} {}
 
 bool Replica::try_begin_dispatch(bool* is_probe) {

@@ -131,8 +131,12 @@ struct ReplicaStats {
 // server captures `this`-adjacent references; the router holds unique_ptrs.
 class Replica {
  public:
+  // `draft`, when non-null, points at a sibling replica's model that drafts
+  // for this server's speculative decode; the router guarantees it outlives
+  // this replica's server.
   Replica(std::string name, nn::TransformerLM model, double quality,
-          const ServerConfig& server_config, const BreakerConfig& breaker);
+          const ServerConfig& server_config, const BreakerConfig& breaker,
+          const nn::TransformerLM* draft = nullptr);
 
   Replica(const Replica&) = delete;
   Replica& operator=(const Replica&) = delete;

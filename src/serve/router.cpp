@@ -54,6 +54,7 @@ RouterConfig RouterConfig::from_env() {
   config.failover_max = env_int("SDD_ROUTE_FAILOVER_MAX", config.failover_max);
   config.cheap_deadline_ms =
       env_int("SDD_ROUTE_CHEAP_DEADLINE_MS", config.cheap_deadline_ms);
+  config.spec_draft = env_string("SDD_SPEC_DRAFT", config.spec_draft);
   config.breaker = BreakerConfig::from_env();
   config.server = ServerConfig::from_env();
   return config;
@@ -182,11 +183,42 @@ VariantRouter::VariantRouter(std::vector<VariantSpec> variants,
   config_.failover_max = std::max<std::int64_t>(0, config_.failover_max);
   config_.poll_ms = std::max<std::int64_t>(1, config_.poll_ms);
   config_.reroute_wait_ms = std::max<std::int64_t>(1, config_.reroute_wait_ms);
-  replicas_.reserve(variants.size());
-  for (VariantSpec& spec : variants) {
-    replicas_.push_back(std::make_unique<Replica>(
+  // Speculative pairing: one variant (typically the deepest-pruned,
+  // SDD-recovered model) drafts for every sibling's verify loop. Its
+  // replica is constructed first so the siblings can hold a pointer to its
+  // weights; vector order still matches `variants` so replica indices (and
+  // chaos targeting by index) are unaffected. shutdown() stops every
+  // server before replicas_ is destroyed, so the cross-replica pointer
+  // never dangles.
+  std::size_t draft_index = variants.size();
+  if (!config_.spec_draft.empty()) {
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+      if (variants[i].name == config_.spec_draft) {
+        draft_index = i;
+        break;
+      }
+    }
+    if (draft_index == variants.size()) {
+      throw Error(ErrorKind::kFatal, "speculative draft variant '" +
+                                         config_.spec_draft +
+                                         "' is not among the hosted variants");
+    }
+  }
+  replicas_.resize(variants.size());
+  const nn::TransformerLM* draft_model = nullptr;
+  if (draft_index < variants.size()) {
+    VariantSpec& spec = variants[draft_index];
+    replicas_[draft_index] = std::make_unique<Replica>(
         std::move(spec.name), std::move(spec.model), spec.quality,
-        config_.server, config_.breaker));
+        config_.server, config_.breaker);
+    draft_model = &replicas_[draft_index]->model();
+  }
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    if (i == draft_index) continue;
+    VariantSpec& spec = variants[i];
+    replicas_[i] = std::make_unique<Replica>(
+        std::move(spec.name), std::move(spec.model), spec.quality,
+        config_.server, config_.breaker, draft_model);
   }
   if (config_.start_dispatcher) start();
 }
@@ -220,8 +252,10 @@ std::vector<ReplicaSnapshot> VariantRouter::replicas() const {
     snap.name = r->name();
     snap.health = r->health();
     snap.stats = r->stats();
+    snap.server = r->server().stats();
     snap.quality = r->quality();
     snap.cost = r->cost();
+    snap.drafts = !config_.spec_draft.empty() && r->name() == config_.spec_draft;
     out.push_back(std::move(snap));
   }
   return out;
@@ -230,6 +264,11 @@ std::vector<ReplicaSnapshot> VariantRouter::replicas() const {
 RouteTicketPtr VariantRouter::submit(RouteRequest request) {
   auto job = std::make_shared<detail::RouteJob>();
   job->route = std::move(request);
+  // The routing task doubles as the serving-layer telemetry label, so
+  // per-task speculative acceptance lands in the replica's ServerStats.
+  if (job->route.request.task.empty()) {
+    job->route.request.task = job->route.task;
+  }
   job->submitted_at = Clock::now();
   job->deadline_ms = job->route.request.deadline_ms > 0
                          ? job->route.request.deadline_ms

@@ -53,12 +53,15 @@ struct RouterConfig {
   std::int64_t poll_ms = 1;            // dispatcher tick while jobs in flight
   std::int64_t reroute_wait_ms = 5;    // backoff when no replica is eligible
   bool start_dispatcher = true;        // test seam: false = call start() later
+  std::string spec_draft;              // variant that drafts for the others'
+                                       // speculative decode ("" = off); takes
+                                       // effect when server.spec_k > 0
 
   BreakerConfig breaker;               // shared by every replica's breaker
   ServerConfig server;                 // shared by every replica's server
 
-  // SDD_ROUTE_FAILOVER_MAX, SDD_ROUTE_CHEAP_DEADLINE_MS, plus
-  // BreakerConfig::from_env() and ServerConfig::from_env().
+  // SDD_ROUTE_FAILOVER_MAX, SDD_ROUTE_CHEAP_DEADLINE_MS, SDD_SPEC_DRAFT,
+  // plus BreakerConfig::from_env() and ServerConfig::from_env().
   static RouterConfig from_env();
 };
 
@@ -145,8 +148,10 @@ struct ReplicaSnapshot {
   std::string name;
   HealthState health = HealthState::kHealthy;
   ReplicaStats stats;
+  ServerStats server;  // incl. speculative acceptance telemetry
   double quality = 0.0;
   std::int64_t cost = 0;
+  bool drafts = false;  // this replica drafts for its siblings
 };
 
 // A variant to host: the router takes ownership of the model.

@@ -76,6 +76,7 @@ ServerConfig ServerConfig::from_env() {
   config.nan_guard = env_flag("SDD_SERVE_NAN_GUARD", config.nan_guard);
   config.worker.hang_ms =
       env_int("SDD_SERVE_HANG_MS", env_int("SDD_STAGE_HANG_SEC", 0) * 1000);
+  config.spec_k = env_int("SDD_SPEC_K", config.spec_k);
   return config;
 }
 
@@ -136,6 +137,11 @@ RequestState Ticket::state() const {
 struct InferenceServer::ActiveSlot {
   std::shared_ptr<detail::Job> job;
   nn::TransformerLM::DecodeState state;
+  // Non-null for a speculative slot (greedy request on a draft-equipped
+  // server): the session owns both KV caches and `state` stays empty. The
+  // slot still mirrors the session's target logits into `logits` every
+  // round so the fault-injection and NaN-guard path below is shared.
+  std::unique_ptr<nn::SpeculativeSession> spec;
   Rng rng{0};
   std::vector<float> logits;
   std::vector<std::int32_t> generated;
@@ -144,11 +150,19 @@ struct InferenceServer::ActiveSlot {
 };
 
 InferenceServer::InferenceServer(const nn::TransformerLM& model,
-                                 ServerConfig config)
-    : model_{model}, config_{std::move(config)} {
+                                 ServerConfig config,
+                                 const nn::TransformerLM* draft)
+    : model_{model}, draft_{draft}, config_{std::move(config)} {
   const nn::ModelConfig& mc = model_.config();
   kv_slot_bytes_ = model_.n_layers() * 2 * mc.max_seq_len * mc.d_model *
                    static_cast<std::int64_t>(sizeof(float));
+  if (speculative()) {
+    // A speculative slot pins both caches; budget accounting is conservative
+    // for the occasional sampled (non-speculative) request sharing the batch.
+    const nn::ModelConfig& dc = draft_->config();
+    kv_slot_bytes_ += draft_->n_layers() * 2 * dc.max_seq_len * dc.d_model *
+                      static_cast<std::int64_t>(sizeof(float));
+  }
   kv_slot_limit_ = config_.kv_budget_bytes > 0
                        ? std::max<std::int64_t>(
                              1, config_.kv_budget_bytes / kv_slot_bytes_)
@@ -169,6 +183,10 @@ void InferenceServer::start() {
   if (worker_started_ || stopping_) return;
   worker_started_ = true;
   worker_ = std::thread{&InferenceServer::worker_main, this};
+}
+
+bool InferenceServer::speculative() const {
+  return draft_ != nullptr && config_.spec_k > 0;
 }
 
 std::int64_t InferenceServer::kv_slot_bytes() const { return kv_slot_bytes_; }
@@ -440,7 +458,15 @@ void InferenceServer::admit_jobs() {
     try {
       // Guarded allocation (util/fault alloc_fail; real allocators can throw
       // here too): failure shrinks the admissible batch instead of crashing.
-      slot.state = model_.make_decode_state();
+      if (speculative() && job->request.temperature == 0.0F) {
+        // Greedy request on a draft-equipped server: decode speculatively.
+        // The session allocates both KV caches (through the same guarded
+        // path) and its outputs are bit-identical to the plain decode below.
+        slot.spec = std::make_unique<nn::SpeculativeSession>(
+            model_, *draft_, config_.spec_k, config_.nan_guard);
+      } else {
+        slot.state = model_.make_decode_state();
+      }
     } catch (const Error& e) {
       if (e.kind() == ErrorKind::kResourceExhausted) {
         const auto floor_limit =
@@ -502,6 +528,17 @@ void InferenceServer::retire_slot(std::size_t index, RequestState state,
                                   std::string message) {
   ActiveSlot slot = std::move(active_[index]);
   active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(index));
+  if (slot.spec) {
+    // Fold the session's acceptance telemetry into the server aggregate and
+    // the per-task breakdown, whatever the terminal state — partial rounds
+    // from a cancelled or failed request still describe draft quality.
+    const std::lock_guard<std::mutex> lock{stats_mutex_};
+    ++stats_.spec_requests;
+    stats_.spec.add(slot.spec->counters());
+    if (!slot.job->request.task.empty()) {
+      stats_.spec_by_task[slot.job->request.task].add(slot.spec->counters());
+    }
+  }
   if (state == RequestState::kCompleted) {
     // Successful retirements walk the allocation-failure soft limit back up
     // toward the configured batch size.
@@ -541,13 +578,39 @@ bool InferenceServer::step_slots() {
       if (slot.prompt_fed < job.request.prompt.size()) {
         // Prefill, one prompt token per round so a long prompt cannot
         // starve the rest of the batch.
-        slot.logits = model_.decode_step(
-            slot.state, job.request.prompt[slot.prompt_fed]);
+        if (slot.spec) {
+          slot.spec->prefill(job.request.prompt[slot.prompt_fed]);
+          slot.logits = slot.spec->logits();
+        } else {
+          slot.logits = model_.decode_step(
+              slot.state, job.request.prompt[slot.prompt_fed]);
+        }
         ++slot.prompt_fed;
       } else if (static_cast<std::int64_t>(slot.generated.size()) >=
                  slot.budget) {
         retire_slot(i, RequestState::kCompleted, std::nullopt, "");
         continue;
+      } else if (slot.spec) {
+        // One speculative round per scheduler round: up to spec_k accepted
+        // draft tokens plus the target's own token. Emitted tokens are the
+        // target's greedy choices in order, so stop-token and budget
+        // handling see exactly the sequence the plain path would produce.
+        const std::vector<std::int32_t> emitted = slot.spec->round(
+            slot.budget - static_cast<std::int64_t>(slot.generated.size()));
+        bool stopped = false;
+        for (const std::int32_t token : emitted) {
+          if (token == job.request.stop_token) {
+            stopped = true;
+            break;
+          }
+          slot.generated.push_back(token);
+        }
+        if (stopped ||
+            static_cast<std::int64_t>(slot.generated.size()) >= slot.budget) {
+          retire_slot(i, RequestState::kCompleted, std::nullopt, "");
+          continue;
+        }
+        slot.logits = slot.spec->logits();
       } else {
         // This mirrors nn::generate token for token (same RNG draws, same
         // decode_step sequence), so outputs are bit-identical to an

@@ -39,6 +39,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -48,6 +49,7 @@
 #include <vector>
 
 #include "nn/decode.hpp"
+#include "nn/speculative.hpp"
 #include "nn/transformer.hpp"
 #include "util/cancel.hpp"
 #include "util/error.hpp"
@@ -64,6 +66,12 @@ struct ServerConfig {
   std::int64_t degrade_max_new_tokens = 16;  // clamp applied past watermark
   bool nan_guard = true;              // fail requests on non-finite logits
   bool start_worker = true;           // test seam: false = call start() later
+  std::int64_t spec_k = 0;            // draft tokens per speculative round;
+                                      // 0 = off. Takes effect only when the
+                                      // server was built with a draft model,
+                                      // and only for greedy (temperature 0)
+                                      // requests — outputs stay bit-identical
+                                      // to the non-speculative decode.
 
   // Supervision for the scheduler stage: effectively unbounded retries with
   // a short backoff (a serving worker must recycle, not die), plus the
@@ -74,7 +82,8 @@ struct ServerConfig {
   static supervisor::SupervisorConfig default_worker_config();
   // SDD_SERVE_QUEUE_CAP, SDD_SERVE_MAX_BATCH, SDD_SERVE_KV_BUDGET_MB,
   // SDD_SERVE_DEADLINE_MS, SDD_SERVE_DEGRADE_DEPTH,
-  // SDD_SERVE_DEGRADE_MAX_TOKENS, SDD_SERVE_NAN_GUARD, SDD_SERVE_HANG_MS.
+  // SDD_SERVE_DEGRADE_MAX_TOKENS, SDD_SERVE_NAN_GUARD, SDD_SERVE_HANG_MS,
+  // SDD_SPEC_K.
   static ServerConfig from_env();
 };
 
@@ -101,6 +110,8 @@ struct Request {
   std::uint64_t seed = 1234;
   std::int32_t priority = 0;     // higher survives overload longer
   std::int64_t deadline_ms = 0;  // 0 = server default (which may be none)
+  std::string task;              // telemetry label: speculative acceptance is
+                                 // aggregated per task ("" = untracked)
 };
 
 struct Response {
@@ -151,6 +162,13 @@ struct ServerStats {
   std::int64_t worker_recycles = 0;  // supervisor stage restarts
   std::int64_t peak_active = 0;      // max concurrent decode slots observed
 
+  // Speculative-decode telemetry (zero when the server has no draft or
+  // spec_k is 0): aggregate acceptance counters plus a per-task breakdown
+  // keyed by Request::task, both folded in when a speculative slot retires.
+  std::int64_t spec_requests = 0;    // requests decoded speculatively
+  nn::SpecCounters spec;
+  std::map<std::string, nn::SpecCounters> spec_by_task;
+
   std::int64_t resolved() const {
     return completed + timed_out + cancelled + shed + rejected + failed;
   }
@@ -159,7 +177,13 @@ struct ServerStats {
 class InferenceServer {
  public:
   // The model must outlive the server and is shared const across requests.
-  InferenceServer(const nn::TransformerLM& model, ServerConfig config);
+  // `draft`, when non-null, enables self-speculative decoding for greedy
+  // requests (config.spec_k > 0): the draft proposes, the model verifies,
+  // and outputs stay bit-identical to the non-speculative decode. The draft
+  // must outlive the server too, share the model's vocabulary, and have a
+  // context window at least as large.
+  InferenceServer(const nn::TransformerLM& model, ServerConfig config,
+                  const nn::TransformerLM* draft = nullptr);
   ~InferenceServer();
 
   InferenceServer(const InferenceServer&) = delete;
@@ -181,7 +205,11 @@ class InferenceServer {
   // `submitted` including a rejection whose `rejected` tick hasn't landed).
   ServerStats stats() const;
 
-  // Bytes of KV cache one decode slot pins (all layers, full context).
+  // True when greedy requests will decode speculatively (draft + spec_k).
+  bool speculative() const;
+
+  // Bytes of KV cache one decode slot pins (all layers, full context;
+  // includes the draft's cache when speculative decoding is enabled).
   std::int64_t kv_slot_bytes() const;
   // Current admissible batch size: min(max_batch, KV-budget slots, and the
   // runtime soft limit lowered by allocation failures).
@@ -203,6 +231,7 @@ class InferenceServer {
   std::int64_t queue_depth() const;
 
   const nn::TransformerLM& model_;
+  const nn::TransformerLM* draft_ = nullptr;  // non-null = speculative capable
   ServerConfig config_;
   std::int64_t kv_slot_bytes_ = 0;
   std::int64_t kv_slot_limit_ = 0;  // from kv_budget_bytes; INT64_MAX = off

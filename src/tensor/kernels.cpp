@@ -451,6 +451,25 @@ void gemm_nt(const float* a, const float* b, float* c, std::int64_t m, std::int6
   });
 }
 
+void gemm_nt_rowwise(const float* a, const float* b, float* c, std::int64_t m,
+                     std::int64_t k, std::int64_t n, bool accumulate) {
+  if (m <= 0 || n <= 0) return;
+  // Every element is one shared-`dot` reduction, so any sharding over the
+  // output columns is bitwise-identical to serial and to m separate m=1
+  // gemm_nt calls. The column-outer loop is the batching win: one B row
+  // services all m input rows before the next is streamed in.
+  const bool parallel = should_parallelize(n, 2 * m * k * n);
+  run_jobs(n, parallel, [=](std::size_t col) {
+    const auto j = static_cast<std::int64_t>(col);
+    const float* b_row = b + j * k;
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float value = dot(a + i * k, b_row, k);
+      float* out = c + i * n + j;
+      *out = accumulate ? *out + value : value;
+    }
+  });
+}
+
 // The per-row bodies are noinline on purpose: under -ffast-math GCC is free
 // to pick a different reduction order for an inlined copy (serial loop) than
 // for the out-of-line copy invoked through the thread pool's type-erased

@@ -31,6 +31,17 @@ void gemm_nt(const float* a, const float* b, float* c, std::int64_t m, std::int6
 void gemm_tn(const float* a, const float* b, float* c, std::int64_t m, std::int64_t k,
              std::int64_t n, bool accumulate);
 
+// C[m,n] (+)= A[m,k] @ B[n,k]^T computed element-by-element with the same
+// shared `dot` reduction the m=1 gemm_nt fallback uses, looping B rows
+// outermost so each weight row streams through the cache once for all m
+// input rows. Guaranteed bitwise-identical to m separate
+// gemm_nt(..., /*m=*/1, ...) calls — the m>=4 micro-kernel path has a
+// different reduction order, so plain gemm_nt cannot provide that. The
+// speculative-decode verify span depends on this equality to stay provably
+// bit-identical to single-token decode.
+void gemm_nt_rowwise(const float* a, const float* b, float* c, std::int64_t m,
+                     std::int64_t k, std::int64_t n, bool accumulate);
+
 // y[i] (+)= alpha * x[i]
 void axpy(float alpha, const float* x, float* y, std::int64_t n, bool accumulate);
 

@@ -33,6 +33,7 @@ struct State {
   std::atomic<std::int64_t> fleet_claims{0};
   std::atomic<std::int64_t> fleet_completions{0};
   std::atomic<std::int64_t> replica_dispatches{0};
+  std::atomic<std::int64_t> draft_logit_checks{0};
   std::mutex rng_mutex;
   Rng rng{0};
 };
@@ -69,8 +70,8 @@ void init_from_env() {
                 "hang_decode:N, nan_decode:N, worker_kill9:at=N, "
                 "worker_stall:N, claim_race, orch_crash:N, "
                 "replica_fail:at=N, replica_fail_n:K, replica_idx:I, "
-                "replica_slow:MS, breaker_flap, mode:throw|exit, "
-                "seed:N (comma-combined)");
+                "replica_slow:MS, breaker_flap, spec_reject_storm[:p=P], "
+                "draft_nan:N, mode:throw|exit, seed:N (comma-combined)");
       std::exit(64);  // EX_USAGE
     }
   });
@@ -201,6 +202,17 @@ FaultConfig parse_fault_spec(const std::string& spec) {
       }
     } else if (name == "breaker_flap") {
       config.breaker_flap = true;
+    } else if (name == "spec_reject_storm") {
+      // accepts bare "spec_reject_storm" (always corrupt),
+      // "spec_reject_storm:p=0.5", and "spec_reject_storm:0.5"
+      if (arg.empty()) {
+        config.spec_reject_p = 1.0;
+      } else {
+        const std::string p = arg.rfind("p=", 0) == 0 ? arg.substr(2) : arg;
+        config.spec_reject_p = parse_prob(p, directive);
+      }
+    } else if (name == "draft_nan") {
+      config.draft_nan = parse_int(arg, directive);
     } else if (name == "hang_cap") {
       config.hang_cap_ms = parse_int(arg, directive);
     } else if (name == "mode") {
@@ -232,6 +244,7 @@ void configure(const FaultConfig& config) {
   s.fleet_claims.store(0, std::memory_order_relaxed);
   s.fleet_completions.store(0, std::memory_order_relaxed);
   s.replica_dispatches.store(0, std::memory_order_relaxed);
+  s.draft_logit_checks.store(0, std::memory_order_relaxed);
   {
     const std::lock_guard<std::mutex> lock{s.rng_mutex};
     s.rng.reseed(config.seed);
@@ -452,6 +465,30 @@ std::int64_t replica_dispatch_delay_ms(std::int64_t index) {
   State& s = state();
   if (s.config.replica_slow_ms <= 0) return 0;
   return index == s.config.replica_fault_index ? s.config.replica_slow_ms : 0;
+}
+
+std::int32_t corrupt_draft_token(std::int32_t token, std::int32_t vocab) {
+  if (!enabled()) return token;
+  State& s = state();
+  if (s.config.spec_reject_p <= 0.0 || vocab <= 1) return token;
+  bool corrupt = s.config.spec_reject_p >= 1.0;
+  if (!corrupt) {
+    const std::lock_guard<std::mutex> lock{s.rng_mutex};
+    corrupt = s.rng.bernoulli(s.config.spec_reject_p);
+  }
+  if (!corrupt) return token;
+  return static_cast<std::int32_t>((token + 1) % vocab);
+}
+
+bool should_poison_draft_logits() {
+  if (!enabled()) return false;
+  State& s = state();
+  if (s.config.draft_nan < 0) return false;
+  const std::int64_t check =
+      s.draft_logit_checks.fetch_add(1, std::memory_order_relaxed);
+  if (check != s.config.draft_nan) return false;
+  log_warn("fault: poisoning draft logits with NaN at draft row ", check);
+  return true;
 }
 
 }  // namespace sdd::fault

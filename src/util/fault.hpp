@@ -65,6 +65,13 @@
 //                                   bursts of three (ordinals 3-5, 9-11, ...)
 //                                   so its breaker repeatedly opens, probes
 //                                   closed, and re-opens
+//   SDD_FAULT="spec_reject_storm"   corrupt every speculative draft proposal
+//                                   (or a fraction with :p=P) so the target
+//                                   rejects it; output bytes must not change
+//                                   — only the acceptance rate collapses
+//   SDD_FAULT="draft_nan:N"         poison the Nth draft-model logits row
+//                                   with NaN (own counter); the speculative
+//                                   round degrades to a target-only step
 //   SDD_FAULT="mode:throw"          crash by throwing FaultCrash instead of
 //                                   _Exit(137) (for in-process tests)
 //   SDD_FAULT="seed:N"              seed for the io_fail coin
@@ -113,6 +120,8 @@ struct FaultConfig {
   std::int64_t replica_fail_count = 6;   // width of the failure window
   std::int64_t replica_slow_ms = 0;   // transit delay to the target replica
   bool breaker_flap = false;          // fail target dispatches in bursts of 3
+  double spec_reject_p = 0.0;         // probability a draft proposal is corrupted
+  std::int64_t draft_nan = -1;        // poison this draft logits row (-1 = never)
   std::int64_t hang_cap_ms = 60'000;  // safety cap for an unwatched hang
   CrashMode mode = CrashMode::kExit;
   std::uint64_t seed = 0x5DDFA017ULL;
@@ -123,7 +132,8 @@ struct FaultConfig {
            slow_io_ms > 0 || alloc_fail_at >= 0 || hang_decode >= 0 ||
            nan_decode >= 0 || worker_kill9_at >= 0 || worker_stall_at >= 0 ||
            claim_race || orch_crash_at >= 0 || replica_fail_at >= 0 ||
-           replica_slow_ms > 0 || breaker_flap;
+           replica_slow_ms > 0 || breaker_flap || spec_reject_p > 0.0 ||
+           draft_nan >= 0;
   }
 };
 
@@ -215,5 +225,18 @@ bool should_fail_replica(std::int64_t index);
 // for the target replica, 0 otherwise. Stateless; the router applies it as
 // a non-blocking not_before gate (one delay per request).
 std::int64_t replica_dispatch_delay_ms(std::int64_t index);
+
+// Called by the speculative decoder on every draft proposal. With
+// spec_reject_storm armed, returns a corrupted token (shifted by one, mod
+// `vocab`) with probability spec_reject_p so the target rejects the draft;
+// returns `token` unchanged otherwise. Corruption must never change output
+// bytes — only the acceptance telemetry.
+std::int32_t corrupt_draft_token(std::int32_t token, std::int32_t vocab);
+
+// Called by the speculative decoder on every freshly computed draft-model
+// logits row (own counter). Returns true on the armed draft_nan call; the
+// caller poisons the draft logits and the round degrades to a target-only
+// step instead of failing the request.
+bool should_poison_draft_logits();
 
 }  // namespace sdd::fault
