@@ -12,12 +12,21 @@
 //   sdd_cli route    --models full.bin,pruned.bin [--names full,p1]
 //                    [--quality digest.txt] --prompt "..." [--task gsm8k]
 //                    [--count 4] [--deadline 50] [--pin p1] [--max-tokens 48]
-//                    [--temperature 0]
+//                    [--temperature 0] [--process 1] [--swap p1=new.bin]
 //   sdd_cli speculate --target full.bin --drafts p2.bin,p4.bin [--names a,b]
 //                    --prompt "..." [--k 4] [--max-tokens 48]
 //   sdd_cli info     --model model.bin
 //   sdd_cli fleet-worker --dir <queue dir> --worker <id>   (internal: spawned
 //                    by the fleet orchestrator, not meant to be run by hand)
+//   sdd_cli replica-worker --model m.bin --name full --fd 3 [--heartbeat 25]
+//                    (internal: spawned by the router's RemoteReplica
+//                    supervisor when cross-process serving is on)
+//
+// Cross-process routing: `route --process 1` (or SDD_REPLICA_PROCESS=1)
+// hosts each variant in its own `replica-worker` child supervised with
+// heartbeat liveness, crash respawn, and breaker quarantine; `--swap
+// name=ckpt` performs a rolling upgrade of one variant mid-run and serves
+// the batch again on the new weights.
 //
 // Pipeline-backed subcommands (pretrain/prune/distill/recover) share the
 // sdd_cache/ experiment cache with the benches.
@@ -279,7 +288,9 @@ int cmd_generate(const Args& args) {
 // given model files: quality/deadline-aware variant choice, circuit-breaker
 // health, and failover, with a per-replica health table at the end. The
 // router knobs come from the SDD_ROUTE_* / SDD_SERVE_* environment
-// (RouterConfig::from_env), same as the soaks.
+// (RouterConfig::from_env), same as the soaks. With --process 1 (or
+// SDD_REPLICA_PROCESS=1) each variant runs in its own supervised
+// `replica-worker` child; --swap name=ckpt then exercises a rolling upgrade.
 int cmd_route(const Args& args) {
   const std::vector<std::string> paths = split_csv(args.at("models"));
   if (paths.empty()) {
@@ -294,6 +305,11 @@ int cmd_route(const Args& args) {
   const std::string quality_path = arg_or(args, "quality", "");
   if (!quality_path.empty()) table = serve::QualityTable::load(quality_path);
 
+  serve::RouterConfig config = serve::RouterConfig::from_env();
+  if (arg_int(args, "process", config.cross_process ? 1 : 0) > 0) {
+    config.cross_process = true;
+  }
+
   std::vector<serve::VariantSpec> variants;
   variants.reserve(paths.size());
   for (std::size_t i = 0; i < paths.size(); ++i) {
@@ -301,10 +317,15 @@ int cmd_route(const Args& args) {
     spec.name = i < names.size()
                     ? names[i]
                     : std::filesystem::path{paths[i]}.stem().string();
-    spec.model = nn::TransformerLM::load(paths[i]);
+    if (config.cross_process) {
+      // The worker process loads the checkpoint; the parent stays weightless.
+      spec.path = paths[i];
+    } else {
+      spec.model = nn::TransformerLM::load(paths[i]);
+    }
     variants.push_back(std::move(spec));
   }
-  serve::VariantRouter router{std::move(variants), serve::RouterConfig::from_env(),
+  serve::VariantRouter router{std::move(variants), std::move(config),
                               std::move(table)};
 
   const data::Vocab& vocab = data::Vocab::instance();
@@ -315,37 +336,61 @@ int cmd_route(const Args& args) {
   prompt.push_back(vocab.sep());
 
   const std::int64_t count = arg_int(args, "count", 1);
-  std::vector<serve::RouteTicketPtr> tickets;
-  tickets.reserve(static_cast<std::size_t>(count));
-  for (std::int64_t i = 0; i < count; ++i) {
-    serve::RouteRequest route;
-    route.request.prompt = prompt;
-    route.request.max_new_tokens = arg_int(args, "max-tokens", 48);
-    route.request.temperature = std::stof(arg_or(args, "temperature", "0"));
-    route.request.stop_token = vocab.eos();
-    route.request.seed = static_cast<std::uint64_t>(1234 + i);
-    route.request.deadline_ms = arg_int(args, "deadline", 0);
-    route.task = arg_or(args, "task", "");
-    route.variant = arg_or(args, "pin", "");
-    tickets.push_back(router.submit(std::move(route)));
-  }
-  for (std::size_t i = 0; i < tickets.size(); ++i) {
-    const serve::RouteResponse& routed = tickets[i]->wait();
-    std::printf("[%zu] variant=%-12s state=%-9s hops=%lld%s\n", i,
-                routed.variant.empty() ? "-" : routed.variant.c_str(),
-                std::string{serve::request_state_name(routed.response.state)}
-                    .c_str(),
-                static_cast<long long>(routed.hops),
-                routed.rerouted ? " (rerouted)" : "");
-    if (routed.response.state == serve::RequestState::kCompleted) {
-      std::printf("    %s\n", vocab.decode(routed.response.tokens).c_str());
-    } else if (!routed.response.message.empty()) {
-      std::printf("    %s\n", routed.response.message.c_str());
+  const auto serve_batch = [&](const char* tag) {
+    std::vector<serve::RouteTicketPtr> tickets;
+    tickets.reserve(static_cast<std::size_t>(count));
+    for (std::int64_t i = 0; i < count; ++i) {
+      serve::RouteRequest route;
+      route.request.prompt = prompt;
+      route.request.max_new_tokens = arg_int(args, "max-tokens", 48);
+      route.request.temperature = std::stof(arg_or(args, "temperature", "0"));
+      route.request.stop_token = vocab.eos();
+      route.request.seed = static_cast<std::uint64_t>(1234 + i);
+      route.request.deadline_ms = arg_int(args, "deadline", 0);
+      route.task = arg_or(args, "task", "");
+      route.variant = arg_or(args, "pin", "");
+      tickets.push_back(router.submit(std::move(route)));
     }
+    for (std::size_t i = 0; i < tickets.size(); ++i) {
+      const serve::RouteResponse& routed = tickets[i]->wait();
+      std::printf("[%s%zu] variant=%-12s state=%-9s hops=%lld%s\n", tag, i,
+                  routed.variant.empty() ? "-" : routed.variant.c_str(),
+                  std::string{serve::request_state_name(routed.response.state)}
+                      .c_str(),
+                  static_cast<long long>(routed.hops),
+                  routed.rerouted ? " (rerouted)" : "");
+      if (routed.response.state == serve::RequestState::kCompleted) {
+        std::printf("    %s\n", vocab.decode(routed.response.tokens).c_str());
+      } else if (!routed.response.message.empty()) {
+        std::printf("    %s\n", routed.response.message.c_str());
+      }
+    }
+  };
+  serve_batch("");
+
+  // Rolling upgrade: drain one worker, respawn on the new checkpoint, then
+  // serve the same batch again so the output reflects the new weights.
+  const std::string swap = arg_or(args, "swap", "");
+  if (!swap.empty()) {
+    const std::size_t eq = swap.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("--swap expects name=checkpoint");
+    }
+    const std::string variant = swap.substr(0, eq);
+    const std::string checkpoint = swap.substr(eq + 1);
+    serve::Replica* replica = router.replica(variant);
+    if (replica == nullptr) {
+      throw std::invalid_argument("--swap: unknown variant '" + variant + "'");
+    }
+    const bool swapped = replica->swap_model(checkpoint, 10000);
+    std::printf("swap %s -> %s: %s\n", variant.c_str(), checkpoint.c_str(),
+                swapped ? "ok" : "FAILED (local replica or timeout)");
+    if (swapped) serve_batch("post-swap ");
   }
 
   TablePrinter health{{"variant", "health", "dispatched", "completed",
-                       "failures", "opens", "probes", "params"}};
+                       "failures", "opens", "probes", "params", "pid",
+                       "restarts", "beat-age"}};
   for (const auto& snap : router.replicas()) {
     health.add_row({snap.name,
                     std::string{serve::health_state_name(snap.health)},
@@ -354,7 +399,12 @@ int cmd_route(const Args& args) {
                     std::to_string(snap.stats.breaker_failures),
                     std::to_string(snap.stats.breaker_opens),
                     std::to_string(snap.stats.probes),
-                    std::to_string(snap.cost)});
+                    std::to_string(snap.cost),
+                    snap.remote ? std::to_string(snap.pid) : "-",
+                    snap.remote ? std::to_string(snap.restarts) : "-",
+                    snap.remote && snap.heartbeat_age_ms >= 0
+                        ? std::to_string(snap.heartbeat_age_ms) + "ms"
+                        : "-"});
   }
   std::printf("%s", health.to_ascii().c_str());
   const serve::RouterStats stats = router.stats();
@@ -442,6 +492,17 @@ int cmd_speculate(const Args& args) {
   return 0;
 }
 
+// Internal: one cross-process serving replica, spawned by RemoteReplica with
+// its end of the socketpair already inherited as --fd. Exits 0 on a clean
+// channel close, 72 after a graceful SIGTERM drain, 71/74/... on typed
+// worker errors (the supervisor only needs "died"; the code aids debugging).
+int cmd_replica_worker(const Args& args) {
+  return serve::replica_worker_main(
+      args.at("model"), arg_or(args, "name", "replica"),
+      static_cast<int>(std::stoll(args.at("fd"))),
+      arg_int(args, "heartbeat", 25));
+}
+
 int cmd_info(const Args& args) {
   const nn::TransformerLM model = nn::TransformerLM::load(args.at("model"));
   const nn::ModelConfig& config = model.config();
@@ -458,7 +519,7 @@ void usage() {
   std::printf(
       "usage: sdd_cli "
       "<pretrain|prune|distill|recover|merge|eval|generate|route|speculate|"
-      "info|fleet-worker> "
+      "info|fleet-worker|replica-worker> "
       "[--flag value ...]\n(see the header comment of examples/sdd_cli.cpp)\n");
 }
 
@@ -486,6 +547,7 @@ int main(int argc, char** argv) {
     if (command == "speculate") return cmd_speculate(args);
     if (command == "info") return cmd_info(args);
     if (command == "fleet-worker") return cmd_fleet_worker(args);
+    if (command == "replica-worker") return cmd_replica_worker(args);
     usage();
     return 2;
   } catch (const sdd::Error& e) {

@@ -8,6 +8,8 @@
 #   router_soak  tsan      replica kill/slow/flap under the race detector
 #   spec_soak    tsan      speculative decode bit-identity under rejection
 #                          storms and draft NaNs
+#   replica_soak release   cross-process workers: kill -9 / wedge / torn
+#                          frames / rolling swap behind the router
 #
 # This is a pure runner: it does not configure or compile anything, so a CI
 # job (or a local run) builds the two trees once and fans the soaks out from
@@ -47,5 +49,6 @@ run_soak fleet_soak fleet_soak.sh "${RELEASE}"
 run_soak serve_soak serve_soak.sh "${TSAN}"
 run_soak router_soak router_soak.sh "${TSAN}"
 run_soak spec_soak spec_soak.sh "${TSAN}"
+run_soak replica_soak replica_soak.sh "${RELEASE}"
 
 soak_summary "all soaks"

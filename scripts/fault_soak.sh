@@ -18,15 +18,13 @@
 #   slow_io:ms=M      every artifact write sleeps M ms first (latency soak)
 set -euo pipefail
 
+source "$(dirname "${BASH_SOURCE[0]}")/soak_lib.sh"
+
 BUILD="${1:-build}"
 SOAK="${BUILD}/examples/soak_pipeline"
-if [[ ! -x "${SOAK}" ]]; then
-  echo "fault_soak: ${SOAK} not found; build it first (cmake --build ${BUILD} --target soak_pipeline)" >&2
-  exit 2
-fi
+soak_require_binary fault_soak "${SOAK}" soak_pipeline
 
-WORK="$(mktemp -d "${TMPDIR:-/tmp}/sdd_soak.XXXXXX")"
-trap 'rm -rf "${WORK}"' EXIT
+soak_workdir sdd_soak
 
 # Tiny but non-degenerate scale: 40 pretrain steps checkpointed every 7, 20
 # SFT steps checkpointed every 5, so crash points land both before the first
@@ -51,18 +49,6 @@ export SDD_SOAK_ITEMS="${SDD_SOAK_ITEMS:-4}"
 # The step-based crash points below assume the default 40-step pretrain /
 # 12-step SFT schedule; overriding the training knobs may move them past the
 # end of the run (the case then fails with "unexpected exit status").
-
-pass=0
-fail=0
-declare -a summary
-
-report() { # name ok
-  if [[ "$2" == ok ]]; then
-    pass=$((pass + 1)); summary+=("PASS  $1")
-  else
-    fail=$((fail + 1)); summary+=("FAIL  $1")
-  fi
-}
 
 # The driver runs directly (no pipeline, no /dev/null) so its exit code is
 # what we test; output goes to a per-case log that is dumped on failure.
@@ -97,7 +83,7 @@ check_case() { # name fault-spec expect-crash
   if [[ "${crashed}" == bad ]]; then
     echo "   unexpected exit ${rc} under fault (expect_crash=${expect_crash}); last log lines:"
     tail -n 8 "${log}" | sed 's/^/   | /'
-    report "${name}" bad
+    soak_report "${name}" bad
     return
   fi
 
@@ -109,15 +95,15 @@ check_case() { # name fault-spec expect-crash
   if [[ "${rc}" -ne 0 ]]; then
     echo "   clean rerun failed after fault (exit ${rc}); last log lines:"
     tail -n 8 "${log}" | sed 's/^/   | /'
-    report "${name}" bad
+    soak_report "${name}" bad
     return
   fi
   if cmp -s "${REF}" "${digest}"; then
-    report "${name}" ok
+    soak_report "${name}" ok
   else
     echo "   digest differs from reference:"
     diff "${REF}" "${digest}" || true
-    report "${name}" bad
+    soak_report "${name}" bad
   fi
 }
 
@@ -167,8 +153,4 @@ check_case nan_sft                "nan_at_step:45"   no
 # supervision settings.
 check_case slow_io                "slow_io:ms=5"     no
 
-echo
-echo "== fault soak summary"
-printf '%s\n' "${summary[@]}"
-echo "-- ${pass} passed, ${fail} failed"
-[[ "${fail}" -eq 0 ]]
+soak_summary "fault soak"

@@ -1,0 +1,651 @@
+#include "serve/remote_replica.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <utility>
+
+#include "nn/transformer.hpp"
+#include "util/env.hpp"
+#include "util/fault.hpp"
+#include "util/ipc.hpp"
+#include "util/log.hpp"
+#include "util/proc.hpp"
+#include "util/signals.hpp"
+
+namespace sdd::serve {
+namespace {
+
+constexpr auto frame_type(ReplicaFrame type) {
+  return static_cast<std::uint8_t>(type);
+}
+
+// ---- wire codecs -----------------------------------------------------------
+//
+// Both endpoints live in this translation unit, so the schema has exactly one
+// definition. A PayloadReader overrun (schema drift) throws worker_lost,
+// which the supervisor treats like any other torn channel.
+
+std::string encode_request(std::uint64_t id, const Request& request) {
+  ipc::PayloadWriter w;
+  w.u64(id);
+  w.vec_i32(request.prompt);
+  w.i64(request.max_new_tokens);
+  w.f32(request.temperature);
+  w.i32(request.stop_token);
+  w.u64(request.seed);
+  w.i32(request.priority);
+  w.i64(request.deadline_ms);
+  w.str(request.task);
+  return w.bytes();
+}
+
+std::uint64_t decode_request(const std::string& payload, Request* out) {
+  ipc::PayloadReader r{payload};
+  const std::uint64_t id = r.u64();
+  out->prompt = r.vec_i32();
+  out->max_new_tokens = r.i64();
+  out->temperature = r.f32();
+  out->stop_token = r.i32();
+  out->seed = r.u64();
+  out->priority = r.i32();
+  out->deadline_ms = r.i64();
+  out->task = r.str();
+  return id;
+}
+
+std::string encode_response(std::uint64_t id, const Response& response) {
+  ipc::PayloadWriter w;
+  w.u64(id);
+  w.u8(static_cast<std::uint8_t>(response.state));
+  w.vec_i32(response.tokens);
+  w.u8(response.error.has_value() ? 1 : 0);
+  w.u8(response.error.has_value()
+           ? static_cast<std::uint8_t>(*response.error)
+           : 0);
+  w.u8(response.retryable ? 1 : 0);
+  w.u8(response.degraded ? 1 : 0);
+  w.str(response.message);
+  w.i64(response.queue_ms);
+  w.i64(response.decode_ms);
+  return w.bytes();
+}
+
+std::uint64_t decode_response(const std::string& payload, Response* out) {
+  ipc::PayloadReader r{payload};
+  const std::uint64_t id = r.u64();
+  out->state = static_cast<RequestState>(r.u8());
+  out->tokens = r.vec_i32();
+  const bool has_error = r.u8() != 0;
+  const auto kind = static_cast<ErrorKind>(r.u8());
+  out->error = has_error ? std::optional<ErrorKind>{kind} : std::nullopt;
+  out->retryable = r.u8() != 0;
+  out->degraded = r.u8() != 0;
+  out->message = r.str();
+  out->queue_ms = r.i64();
+  out->decode_ms = r.i64();
+  return id;
+}
+
+Response worker_lost_response(const std::string& reason) {
+  Response response;
+  response.state = RequestState::kFailed;
+  response.error = ErrorKind::kWorkerLost;
+  response.retryable = true;
+  response.message = "replica worker lost: " + reason;
+  return response;
+}
+
+}  // namespace
+
+RemoteReplicaConfig RemoteReplicaConfig::from_env() {
+  RemoteReplicaConfig config;
+  config.heartbeat_ms = env_int("SDD_REPLICA_HEARTBEAT_MS", config.heartbeat_ms);
+  config.lease_ms = env_int("SDD_REPLICA_LEASE_MS", config.lease_ms);
+  config.respawn_max = env_int("SDD_REPLICA_RESPAWN_MAX", config.respawn_max);
+  config.backoff_ms = env_int("SDD_REPLICA_BACKOFF_MS", config.backoff_ms);
+  config.backoff_cap_ms =
+      env_int("SDD_REPLICA_BACKOFF_CAP_MS", config.backoff_cap_ms);
+  config.drain_grace_ms = env_int("SDD_REPLICA_GRACE_MS", config.drain_grace_ms);
+  return config;
+}
+
+// ---- parent: RemoteReplica -------------------------------------------------
+
+RemoteReplica::RemoteReplica(
+    std::string name, std::string model_path, RemoteReplicaConfig config,
+    std::function<void(const std::string&)> on_process_failure)
+    : name_{std::move(name)},
+      config_{std::move(config)},
+      on_process_failure_{std::move(on_process_failure)},
+      model_path_{std::move(model_path)} {
+  signals::ignore_sigpipe();
+  {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    spawn_locked();
+  }
+  pump_ = std::thread{&RemoteReplica::pump_main, this};
+}
+
+RemoteReplica::~RemoteReplica() { shutdown(); }
+
+void RemoteReplica::spawn_locked() {
+  const ipc::SocketPair pair = ipc::socket_pair();
+  std::int64_t pid = -1;
+  try {
+    if (config_.spawn_fn) {
+      pid = config_.spawn_fn(pair.child_fd, model_path_, name_);
+    } else {
+      std::vector<std::string> env = config_.env_overrides;
+      // Chaos targets the first worker generation only: a respawn must come
+      // up clean or the kill/respawn loop under test could never converge.
+      env.push_back(generation_ == 0 ? "SDD_FAULT=" + config_.child_fault_spec
+                                     : "SDD_FAULT=");
+      pid = proc::spawn(
+          {proc::self_exe().string(), "replica-worker", "--model", model_path_,
+           "--name", name_, "--fd", std::to_string(pair.child_fd),
+           "--heartbeat", std::to_string(config_.heartbeat_ms)},
+          env, {pair.child_fd});
+    }
+  } catch (...) {
+    ::close(pair.parent_fd);
+    ::close(pair.child_fd);
+    throw;
+  }
+  ::close(pair.child_fd);
+  fd_ = pair.parent_fd;
+  pid_ = pid;
+  hello_received_ = false;
+  draining_ = false;
+  // The lease countdown starts at spawn; the worker heartbeats while the
+  // model loads, so a slow load is not a false lease expiry.
+  last_beat_ = proc::monotonic_ms();
+  if (generation_ > 0) ++stats_.respawns;
+  ++generation_;
+  log_info("route: replica '", name_, "' worker pid ", pid, " spawned (gen ",
+           generation_, ", model ", model_path_, ")");
+}
+
+TicketPtr RemoteReplica::submit(Request request) {
+  auto job = detail::RemoteJob::make(std::move(request));
+  TicketPtr ticket = detail::RemoteJob::ticket(job);
+  std::uint64_t id = 0;
+  int fd = -1;
+  std::int64_t pid = -1;
+  std::string unavailable;
+  {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    ++stats_.submitted;
+    if (stopping_) {
+      unavailable = "replica shutting down";
+    } else if (draining_) {
+      unavailable = "replica draining for upgrade";
+    } else if (fd_ < 0) {
+      unavailable = "no live worker";
+    } else {
+      id = next_id_++;
+      pending_[id] = Pending{job, false};
+      fd = fd_;
+      pid = pid_;
+    }
+    if (!unavailable.empty()) ++stats_.worker_lost;
+  }
+  if (!unavailable.empty()) {
+    // Fail fast: the router records a breaker failure and serves the request
+    // from a sibling variant instead of queueing on a dead process.
+    detail::RemoteJob::resolve(*job, worker_lost_response(unavailable));
+    return ticket;
+  }
+  const std::string payload =
+      encode_request(id, detail::RemoteJob::request(*job));
+  try {
+    const std::lock_guard<std::mutex> wlock{write_mutex_};
+    ipc::write_frame(fd, frame_type(ReplicaFrame::kRequest), payload);
+  } catch (const Error& e) {
+    {
+      const std::lock_guard<std::mutex> lock{mutex_};
+      pending_.erase(id);
+      ++stats_.worker_lost;
+    }
+    detail::RemoteJob::resolve(*job, worker_lost_response(e.what()));
+    // Make the death prompt and unambiguous; the pump observes the reap/EOF
+    // and runs the full recovery path (it owns fd lifecycle).
+    proc::send_signal(pid, SIGKILL);
+  }
+  return ticket;
+}
+
+void RemoteReplica::pump_main() {
+  while (true) {
+    int fd = -1;
+    {
+      const std::lock_guard<std::mutex> lock{mutex_};
+      if (pump_exit_) return;
+      if (stopping_ && fd_ < 0) return;
+      fd = fd_;
+    }
+    if (fd < 0) {
+      // Dead worker: respawn once the backoff expires, unless the budget of
+      // consecutive unexpected deaths is exhausted (the breaker then keeps
+      // the replica quarantined and probes fail fast).
+      {
+        const std::lock_guard<std::mutex> lock{mutex_};
+        if (!stopping_ && fd_ < 0 &&
+            consecutive_deaths_ <= config_.respawn_max &&
+            proc::monotonic_ms() >= next_spawn_at_) {
+          try {
+            spawn_locked();
+          } catch (const std::exception& e) {
+            log_error("route: replica '", name_, "' respawn failed: ",
+                      e.what());
+            ++consecutive_deaths_;
+            next_spawn_at_ = proc::monotonic_ms() + config_.backoff_cap_ms;
+          }
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds{5});
+      continue;
+    }
+    try {
+      ipc::Frame frame;
+      const ipc::ReadStatus status = ipc::read_frame(fd, &frame, 10);
+      if (status == ipc::ReadStatus::kFrame) {
+        handle_frame(frame.type, frame.payload);
+      } else if (status == ipc::ReadStatus::kClosed) {
+        handle_death("worker closed the channel", false);
+        continue;
+      }
+    } catch (const Error& e) {
+      handle_death(e.what(), false);
+      continue;
+    }
+    sweep();
+  }
+}
+
+void RemoteReplica::handle_frame(std::uint8_t type,
+                                 const std::string& payload) {
+  const std::int64_t now = proc::monotonic_ms();
+  if (type == frame_type(ReplicaFrame::kHeartbeat)) {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    last_beat_ = now;
+    return;
+  }
+  if (type == frame_type(ReplicaFrame::kHello)) {
+    ipc::PayloadReader r{payload};
+    const std::int64_t params = r.i64();
+    const std::int64_t layers = r.i64();
+    const std::lock_guard<std::mutex> lock{mutex_};
+    last_beat_ = now;
+    hello_received_ = true;
+    cost_ = params;
+    consecutive_deaths_ = 0;  // a generation that loads is a healthy restart
+    log_info("route: replica '", name_, "' worker ready (", params,
+             " params, ", layers, " layers)");
+    return;
+  }
+  if (type == frame_type(ReplicaFrame::kResponse)) {
+    Response response;
+    const std::uint64_t id = decode_response(payload, &response);
+    std::shared_ptr<detail::Job> job;
+    {
+      const std::lock_guard<std::mutex> lock{mutex_};
+      last_beat_ = now;
+      const auto it = pending_.find(id);
+      if (it != pending_.end()) {
+        job = it->second.job;
+        pending_.erase(it);
+        ++stats_.completed;
+      }
+    }
+    // Unknown id = ticket already failed over on a presumed-lost worker that
+    // answered late after all; first resolution won, drop the duplicate.
+    if (job) detail::RemoteJob::resolve(*job, std::move(response));
+    return;
+  }
+  log_warn("route: replica '", name_, "' sent unknown frame type ",
+           static_cast<int>(type));
+}
+
+void RemoteReplica::sweep() {
+  const std::int64_t now = proc::monotonic_ms();
+  std::string death;
+  bool reaped = false;
+  std::int64_t kill_pid = -1;
+  std::vector<std::pair<std::uint64_t, int>> cancels;  // (id, fd)
+  {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    if (fd_ < 0) return;
+    if (const auto status = proc::try_reap(pid_)) {
+      death = status->term_signal != 0
+                  ? "worker killed by signal " +
+                        std::to_string(status->term_signal)
+                  : "worker exited rc=" + std::to_string(status->exit_code);
+      reaped = true;
+      pid_ = -1;  // never signal a reaped (reusable) pid again
+    } else if (now - last_beat_ > config_.lease_ms) {
+      ++stats_.lease_expiries;
+      death = "heartbeat lease expired (" +
+              std::to_string(now - last_beat_) + " ms silent)";
+    } else if (draining_ &&
+               now - drain_started_ > config_.drain_grace_ms) {
+      kill_pid = pid_;  // overstayed drain: escalate, reap on the next tick
+    }
+    if (death.empty()) {
+      for (auto& [id, pending] : pending_) {
+        if (!pending.cancel_sent &&
+            detail::RemoteJob::cancel_requested(*pending.job)) {
+          pending.cancel_sent = true;
+          cancels.emplace_back(id, fd_);
+        }
+      }
+    }
+  }
+  if (!death.empty()) {
+    handle_death(death, reaped);
+    return;
+  }
+  if (kill_pid > 1) {
+    log_warn("route: replica '", name_, "' overstayed its drain grace; "
+             "escalating to SIGKILL");
+    proc::send_signal(kill_pid, SIGKILL);
+  }
+  for (const auto& [id, fd] : cancels) {
+    ipc::PayloadWriter w;
+    w.u64(id);
+    try {
+      const std::lock_guard<std::mutex> wlock{write_mutex_};
+      ipc::write_frame(fd, frame_type(ReplicaFrame::kCancel), w.bytes());
+    } catch (const Error&) {
+      // The read side will observe the same dead channel momentarily.
+    }
+  }
+}
+
+void RemoteReplica::handle_death(const std::string& reason,
+                                 bool already_reaped) {
+  std::vector<std::shared_ptr<detail::Job>> orphans;
+  int fd = -1;
+  std::int64_t pid = -1;
+  bool intentional = false;
+  {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    if (fd_ < 0) return;  // already handled
+    fd = fd_;
+    fd_ = -1;  // submits fail fast from this point on
+    pid = pid_;
+    pid_ = -1;
+    intentional = draining_ || stopping_;
+    draining_ = false;
+    hello_received_ = false;
+    orphans.reserve(pending_.size());
+    for (auto& [id, pending] : pending_) orphans.push_back(pending.job);
+    pending_.clear();
+    stats_.worker_lost += static_cast<std::int64_t>(orphans.size());
+    const std::int64_t now = proc::monotonic_ms();
+    if (intentional) {
+      next_spawn_at_ = now;  // drain/upgrade: respawn immediately
+    } else {
+      ++consecutive_deaths_;
+      const std::int64_t shift =
+          std::min<std::int64_t>(consecutive_deaths_ - 1, 20);
+      next_spawn_at_ =
+          now + std::min(config_.backoff_ms << shift, config_.backoff_cap_ms);
+    }
+  }
+  if (!already_reaped && pid > 1) {
+    // Ensure the death is total before recycling the channel (a half-dead
+    // worker must not keep a stale fd open).
+    proc::send_signal(pid, SIGKILL);
+    proc::wait_reap(pid, 2000);
+  }
+  {
+    // No writer is mid-frame once the worker is reaped: a blocked write has
+    // returned EPIPE and released the lock. Closing under it prevents a
+    // racing submit from writing into a recycled descriptor number.
+    const std::lock_guard<std::mutex> wlock{write_mutex_};
+    ::close(fd);
+  }
+  const Response lost = worker_lost_response(reason);
+  for (const auto& job : orphans) detail::RemoteJob::resolve(*job, lost);
+  log_warn("route: replica '", name_, "' worker lost (", reason, "); ",
+           orphans.size(), " in-flight request(s) failed over",
+           intentional ? "" : "; respawning");
+  if (!intentional && on_process_failure_) on_process_failure_(reason);
+}
+
+bool RemoteReplica::swap_model(const std::string& new_path,
+                               std::int64_t timeout_ms) {
+  std::int64_t target_generation = 0;
+  std::int64_t pid = -1;
+  {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    if (stopping_) return false;
+    model_path_ = new_path;
+    ++stats_.swaps;
+    target_generation = generation_ + 1;
+    if (fd_ >= 0) {
+      draining_ = true;
+      drain_started_ = proc::monotonic_ms();
+      pid = pid_;
+    }
+  }
+  // SIGTERM starts the worker's graceful drain: finish the in-flight batch,
+  // answer what it can, exit 72. The pump reaps it and respawns with the new
+  // weights (next_spawn_at_ = now for an intentional death).
+  proc::send_signal(pid, SIGTERM);
+  const std::int64_t deadline = proc::monotonic_ms() + timeout_ms;
+  while (proc::monotonic_ms() < deadline) {
+    {
+      const std::lock_guard<std::mutex> lock{mutex_};
+      if (generation_ >= target_generation && hello_received_) return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds{5});
+  }
+  return false;
+}
+
+void RemoteReplica::shutdown() {
+  std::int64_t pid = -1;
+  {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    if (stopping_) {
+      // Second caller: the first one is (or was) already tearing down.
+    } else {
+      stopping_ = true;
+      pid = pid_;
+    }
+  }
+  // Graceful first: let a live worker drain its in-flight batch so those
+  // clients get real results, mirroring InferenceServer::shutdown.
+  proc::send_signal(pid, SIGTERM);
+  const std::int64_t deadline =
+      proc::monotonic_ms() + config_.drain_grace_ms;
+  while (proc::monotonic_ms() < deadline) {
+    {
+      const std::lock_guard<std::mutex> lock{mutex_};
+      if (fd_ < 0 || pending_.empty()) break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds{5});
+  }
+  {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    pump_exit_ = true;
+  }
+  std::thread pump;
+  {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    pump = std::move(pump_);
+  }
+  if (pump.joinable()) pump.join();
+  // The pump is gone; finish whatever it left behind.
+  std::vector<std::shared_ptr<detail::Job>> orphans;
+  int fd = -1;
+  {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    fd = fd_;
+    fd_ = -1;
+    pid = pid_;
+    pid_ = -1;
+    for (auto& [id, pending] : pending_) orphans.push_back(pending.job);
+    stats_.worker_lost += static_cast<std::int64_t>(orphans.size());
+    pending_.clear();
+  }
+  if (pid > 1) proc::terminate(pid, 200);
+  if (fd >= 0) {
+    const std::lock_guard<std::mutex> wlock{write_mutex_};
+    ::close(fd);
+  }
+  const Response lost = worker_lost_response("replica shutting down");
+  for (const auto& job : orphans) detail::RemoteJob::resolve(*job, lost);
+}
+
+std::int64_t RemoteReplica::pid() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  return fd_ >= 0 ? pid_ : -1;
+}
+
+std::int64_t RemoteReplica::restarts() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  return stats_.respawns;
+}
+
+std::int64_t RemoteReplica::heartbeat_age_ms() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  if (fd_ < 0) return -1;
+  return std::max<std::int64_t>(0, proc::monotonic_ms() - last_beat_);
+}
+
+std::int64_t RemoteReplica::cost() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  return cost_;
+}
+
+bool RemoteReplica::ready() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  return fd_ >= 0 && hello_received_;
+}
+
+RemoteStats RemoteReplica::stats() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  return stats_;
+}
+
+// ---- worker: replica_worker_main -------------------------------------------
+
+int replica_worker_main(const std::string& model_path, const std::string& name,
+                        int fd, std::int64_t heartbeat_ms) {
+  signals::ignore_sigpipe();
+  heartbeat_ms = std::max<std::int64_t>(1, heartbeat_ms);
+
+  // Heartbeats start before the (potentially slow) model load so the parent's
+  // lease never falsely expires during startup. The thread stops beating —
+  // but keeps running — once a wedge fault fires: the parent must detect the
+  // wedge through lease silence, not a closed channel.
+  std::mutex write_mutex;
+  std::atomic<bool> stop_beats{false};
+  std::thread beats{[fd, heartbeat_ms, &write_mutex, &stop_beats] {
+    while (!stop_beats.load(std::memory_order_acquire)) {
+      if (!fault::replica_wedged()) {
+        try {
+          const std::lock_guard<std::mutex> wlock{write_mutex};
+          ipc::write_frame(fd, frame_type(ReplicaFrame::kHeartbeat), "");
+        } catch (const Error&) {
+          return;  // parent gone; the main loop will see EOF too
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds{heartbeat_ms});
+    }
+  }};
+
+  int rc = 0;
+  try {
+    const nn::TransformerLM model = nn::TransformerLM::load(model_path);
+    InferenceServer server{model, ServerConfig::from_env()};
+    {
+      ipc::PayloadWriter hello;
+      hello.i64(model.param_count());
+      hello.i64(model.n_layers());
+      const std::lock_guard<std::mutex> wlock{write_mutex};
+      ipc::write_frame(fd, frame_type(ReplicaFrame::kHello), hello.bytes());
+    }
+    log_info("replica-worker '", name, "': serving ", model_path);
+
+    std::map<std::uint64_t, TicketPtr> pending;
+    bool closed = false;
+    while (!closed) {
+      // Stream back every resolved ticket before reading more work.
+      for (auto it = pending.begin(); it != pending.end();) {
+        if (!it->second->wait_for(std::chrono::milliseconds{0})) {
+          ++it;
+          continue;
+        }
+        const std::string payload =
+            encode_response(it->first, it->second->wait());
+        const std::lock_guard<std::mutex> wlock{write_mutex};
+        if (fault::should_tear_frame()) {
+          // Chaos: die mid-frame. The parent must classify the torn frame
+          // as retryable worker_lost and fail the request over.
+          ipc::write_torn_frame(fd, frame_type(ReplicaFrame::kResponse),
+                                payload);
+          log_error("fault: replica worker tearing a response frame — "
+                    "_Exit(137)");
+          std::_Exit(137);
+        }
+        ipc::write_frame(fd, frame_type(ReplicaFrame::kResponse), payload);
+        it = pending.erase(it);
+      }
+
+      if (signals::interrupt_requested()) {
+        // Graceful drain (PR 6 convention): stop reading, let the server
+        // finish its in-flight batch (those clients get real results; still-
+        // queued requests fail with kInterrupted and the parent fails them
+        // over), answer everything, exit 72.
+        log_info("replica-worker '", name,
+                 "': draining after SIGTERM/SIGINT");
+        for (auto& [id, ticket] : pending) {
+          const std::string payload = encode_response(id, ticket->wait());
+          const std::lock_guard<std::mutex> wlock{write_mutex};
+          ipc::write_frame(fd, frame_type(ReplicaFrame::kResponse), payload);
+        }
+        pending.clear();
+        server.shutdown();
+        rc = error_kind_exit_code(ErrorKind::kInterrupted);  // 72
+        break;
+      }
+
+      ipc::Frame frame;
+      const ipc::ReadStatus status =
+          ipc::read_frame(fd, &frame, pending.empty() ? 25 : 2);
+      if (status == ipc::ReadStatus::kClosed) {
+        server.shutdown();
+        closed = true;
+      } else if (status == ipc::ReadStatus::kFrame) {
+        if (frame.type == frame_type(ReplicaFrame::kRequest)) {
+          fault::on_replica_request();  // replica_kill9 / replica_wedge
+          Request request;
+          const std::uint64_t id = decode_request(frame.payload, &request);
+          pending[id] = server.submit(std::move(request));
+        } else if (frame.type == frame_type(ReplicaFrame::kCancel)) {
+          ipc::PayloadReader r{frame.payload};
+          const auto it = pending.find(r.u64());
+          if (it != pending.end()) it->second->cancel();
+        }
+      }
+    }
+  } catch (const Error& e) {
+    log_error("replica-worker '", name, "': ", e.what());
+    rc = error_kind_exit_code(e.kind());
+  } catch (const std::exception& e) {
+    log_error("replica-worker '", name, "': ", e.what());
+    rc = error_kind_exit_code(ErrorKind::kFatal);
+  }
+  stop_beats.store(true, std::memory_order_release);
+  beats.join();
+  return rc;
+}
+
+}  // namespace sdd::serve

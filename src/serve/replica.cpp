@@ -129,6 +129,16 @@ void HealthBreaker::abandon(bool is_probe) {
   record(Outcome::kNeutral, is_probe);
 }
 
+void HealthBreaker::trip() {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  state_ = HealthState::kOpen;
+  opened_at_ = now();
+  probes_inflight_ = 0;
+  // Keep consecutive_failures() truthful for logs: a liveness trip is at
+  // least as bad as a full failure streak.
+  fails_ = std::max(fails_, config_.open_after);
+}
+
 std::int64_t HealthBreaker::load_penalty() const {
   const std::lock_guard<std::mutex> lock{mutex_};
   return penalty_;
@@ -156,9 +166,67 @@ Replica::Replica(std::string name, nn::TransformerLM model, double quality,
                  const nn::TransformerLM* draft)
     : name_{std::move(name)},
       quality_{quality},
-      model_{std::move(model)},
-      server_{model_, server_config, draft},
+      model_{std::make_unique<nn::TransformerLM>(std::move(model))},
+      server_{std::make_unique<InferenceServer>(*model_, server_config, draft)},
       breaker_{breaker} {}
+
+Replica::Replica(std::string name, std::string model_path, double quality,
+                 std::int64_t cost_hint,
+                 const RemoteReplicaConfig& remote_config,
+                 const BreakerConfig& breaker)
+    : name_{std::move(name)},
+      quality_{quality},
+      cost_hint_{cost_hint},
+      breaker_{breaker} {
+  // Constructed in the body, after every member: the supervisor's failure
+  // callback may fire from its pump thread as soon as it exists.
+  remote_ = std::make_unique<RemoteReplica>(
+      name_, std::move(model_path), remote_config,
+      [this](const std::string& reason) { on_process_death(reason); });
+}
+
+std::int64_t Replica::cost() const {
+  if (!remote_) return model_->param_count();
+  const std::int64_t hello = remote_->cost();
+  return hello > 0 ? hello : cost_hint_;
+}
+
+TicketPtr Replica::submit(Request request) {
+  return remote_ ? remote_->submit(std::move(request))
+                 : server_->submit(std::move(request));
+}
+
+bool Replica::swap_model(const std::string& path, std::int64_t timeout_ms) {
+  return remote_ && remote_->swap_model(path, timeout_ms);
+}
+
+void Replica::shutdown_host() {
+  if (remote_) {
+    remote_->shutdown();
+  } else {
+    server_->shutdown();
+  }
+}
+
+ServerStats Replica::server_stats() const {
+  if (!remote_) return server_->stats();
+  const RemoteStats remote = remote_->stats();
+  ServerStats stats;
+  stats.submitted = remote.submitted;
+  stats.completed = remote.completed;
+  stats.failed = remote.worker_lost;
+  return stats;
+}
+
+void Replica::on_process_death(const std::string& reason) {
+  const HealthState before = breaker_.state();
+  breaker_.trip();
+  log_warn("route: replica '", name_, "' quarantined (", reason,
+           "); breaker opened pending respawn + probe");
+  const std::lock_guard<std::mutex> lock{stats_mutex_};
+  ++stats_.breaker_failures;
+  if (before != HealthState::kOpen) ++stats_.breaker_opens;
+}
 
 bool Replica::try_begin_dispatch(bool* is_probe) {
   if (!breaker_.try_begin(is_probe)) return false;

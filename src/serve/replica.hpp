@@ -31,6 +31,7 @@
 #include <string_view>
 
 #include "nn/transformer.hpp"
+#include "serve/remote_replica.hpp"
 #include "serve/serve.hpp"
 
 namespace sdd::serve {
@@ -95,6 +96,12 @@ class HealthBreaker {
   // pre-submit fault handled elsewhere). Equivalent to a neutral record.
   void abandon(bool is_probe);
 
+  // Force-open, bypassing the failure streak: a process-level liveness
+  // verdict (reaped pid, expired heartbeat lease, torn channel) quarantines
+  // the replica immediately. The normal cooldown -> half-open -> probe path
+  // readmits it once a respawned worker answers a probe.
+  void trip();
+
   // Decaying count of recent backpressure events; the router prefers the
   // least-loaded replica among equals. Halved on every success.
   std::int64_t load_penalty() const;
@@ -126,27 +133,44 @@ struct ReplicaStats {
   double latency_ema_ms = 0.0;        // EMA of completed-request decode time
 };
 
-// One hosted variant: owns the model weights and the InferenceServer over
-// them, plus the breaker and per-replica routing stats. Not movable — the
-// server captures `this`-adjacent references; the router holds unique_ptrs.
+// One hosted variant behind the breaker and per-replica routing stats, in
+// one of two hosting modes:
+//   * local  — owns the model weights and an in-process InferenceServer;
+//   * remote — owns a RemoteReplica supervising a `replica-worker` child
+//     process (process-isolated weights, crash respawn, rolling upgrades).
+// The router never cares which: submit()/record_outcome() are identical, and
+// a remote worker death trips the breaker through on_process_death().
+// Not movable — the server/supervisor capture `this`-adjacent references;
+// the router holds unique_ptrs.
 class Replica {
  public:
-  // `draft`, when non-null, points at a sibling replica's model that drafts
-  // for this server's speculative decode; the router guarantees it outlives
-  // this replica's server.
+  // Local replica. `draft`, when non-null, points at a sibling replica's
+  // model that drafts for this server's speculative decode; the router
+  // guarantees it outlives this replica's server.
   Replica(std::string name, nn::TransformerLM model, double quality,
           const ServerConfig& server_config, const BreakerConfig& breaker,
           const nn::TransformerLM* draft = nullptr);
+
+  // Remote replica: the weights live in the worker process; the parent only
+  // keeps the checkpoint path. `cost_hint` seeds the routing cost until the
+  // worker's HELLO reports its true parameter count.
+  Replica(std::string name, std::string model_path, double quality,
+          std::int64_t cost_hint, const RemoteReplicaConfig& remote_config,
+          const BreakerConfig& breaker);
 
   Replica(const Replica&) = delete;
   Replica& operator=(const Replica&) = delete;
 
   const std::string& name() const { return name_; }
   double quality() const { return quality_; }
+  bool remote() const { return remote_ != nullptr; }
   // Routing cost proxy: parameter count (a deeper variant decodes slower).
-  std::int64_t cost() const { return model_.param_count(); }
-  const nn::TransformerLM& model() const { return model_; }
-  InferenceServer& server() { return server_; }
+  // Remote: the worker's HELLO-reported count, or the spec's hint until the
+  // first HELLO lands.
+  std::int64_t cost() const;
+  // Local mode only (the weights of a remote replica live in the worker).
+  const nn::TransformerLM& model() const { return *model_; }
+  InferenceServer& server() { return *server_; }
 
   HealthState health() const { return breaker_.state(); }
   HealthBreaker& breaker() { return breaker_; }
@@ -154,7 +178,7 @@ class Replica {
 
   // try_begin + dispatch accounting in one step; false = breaker refused.
   bool try_begin_dispatch(bool* is_probe);
-  TicketPtr submit(Request request) { return server_.submit(std::move(request)); }
+  TicketPtr submit(Request request);
 
   // Feeds one terminal response back into the breaker and the stats.
   void record_outcome(HealthBreaker::Outcome outcome, bool is_probe,
@@ -162,14 +186,40 @@ class Replica {
   // Releases a claimed dispatch that never reached submit().
   void abandon_dispatch(bool is_probe) { breaker_.abandon(is_probe); }
 
+  // Rolling upgrade (remote only): drain the worker, respawn with `path`,
+  // wait up to `timeout_ms` for the new generation's HELLO. False for local
+  // replicas and on timeout.
+  bool swap_model(const std::string& path, std::int64_t timeout_ms);
+
+  // Shuts down whichever host this replica runs (server or worker process).
+  void shutdown_host();
+
+  // Server-side telemetry: the local server's stats, or a minimal synthesis
+  // from the remote supervisor's counters (submitted/completed/failed).
+  ServerStats server_stats() const;
+
+  // Process telemetry for the health table; -1 / 0 / -1 for local replicas.
+  std::int64_t pid() const { return remote_ ? remote_->pid() : -1; }
+  std::int64_t restart_count() const { return remote_ ? remote_->restarts() : 0; }
+  std::int64_t heartbeat_age_ms() const {
+    return remote_ ? remote_->heartbeat_age_ms() : -1;
+  }
+
   ReplicaStats stats() const;
 
  private:
+  // Remote worker death: trip the breaker and count the open (invoked by the
+  // RemoteReplica supervisor from whichever thread detected the death).
+  void on_process_death(const std::string& reason);
+
   std::string name_;
   double quality_;
+  std::int64_t cost_hint_ = 0;
   // Declaration order matters: the server holds a reference to the model.
-  nn::TransformerLM model_;
-  InferenceServer server_;
+  // Exactly one of (model_+server_) / remote_ is set.
+  std::unique_ptr<nn::TransformerLM> model_;
+  std::unique_ptr<InferenceServer> server_;
+  std::unique_ptr<RemoteReplica> remote_;
   HealthBreaker breaker_;
 
   mutable std::mutex stats_mutex_;

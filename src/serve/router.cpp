@@ -55,6 +55,8 @@ RouterConfig RouterConfig::from_env() {
   config.cheap_deadline_ms =
       env_int("SDD_ROUTE_CHEAP_DEADLINE_MS", config.cheap_deadline_ms);
   config.spec_draft = env_string("SDD_SPEC_DRAFT", config.spec_draft);
+  config.cross_process = env_flag("SDD_REPLICA_PROCESS", config.cross_process);
+  config.remote = RemoteReplicaConfig::from_env();
   config.breaker = BreakerConfig::from_env();
   config.server = ServerConfig::from_env();
   return config;
@@ -183,6 +185,38 @@ VariantRouter::VariantRouter(std::vector<VariantSpec> variants,
   config_.failover_max = std::max<std::int64_t>(0, config_.failover_max);
   config_.poll_ms = std::max<std::int64_t>(1, config_.poll_ms);
   config_.reroute_wait_ms = std::max<std::int64_t>(1, config_.reroute_wait_ms);
+  if (config_.cross_process) {
+    if (!config_.spec_draft.empty()) {
+      throw Error(ErrorKind::kFatal,
+                  "cross-process replicas cannot share a speculative draft "
+                  "(the draft pointer cannot cross a process boundary); "
+                  "unset SDD_SPEC_DRAFT or SDD_REPLICA_PROCESS");
+    }
+    // One `replica-worker` child per variant. Chaos (SDD_REPLICA_FAULT)
+    // targets exactly one variant's first worker generation so the soak can
+    // assert that the siblings absorb the failover.
+    const std::string child_fault = env_string("SDD_REPLICA_FAULT", "");
+    const std::int64_t fault_index = env_int("SDD_REPLICA_FAULT_IDX", 0);
+    replicas_.resize(variants.size());
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+      VariantSpec& spec = variants[i];
+      if (spec.path.empty()) {
+        throw Error(ErrorKind::kFatal,
+                    "cross-process variant '" + spec.name +
+                        "' needs a checkpoint path");
+      }
+      RemoteReplicaConfig remote = config_.remote;
+      if (!child_fault.empty() &&
+          static_cast<std::int64_t>(i) == fault_index) {
+        remote.child_fault_spec = child_fault;
+      }
+      replicas_[i] = std::make_unique<Replica>(
+          std::move(spec.name), std::move(spec.path), spec.quality,
+          spec.cost_hint, remote, config_.breaker);
+    }
+    if (config_.start_dispatcher) start();
+    return;
+  }
   // Speculative pairing: one variant (typically the deepest-pruned,
   // SDD-recovered model) drafts for every sibling's verify loop. Its
   // replica is constructed first so the siblings can hold a pointer to its
@@ -252,10 +286,14 @@ std::vector<ReplicaSnapshot> VariantRouter::replicas() const {
     snap.name = r->name();
     snap.health = r->health();
     snap.stats = r->stats();
-    snap.server = r->server().stats();
+    snap.server = r->server_stats();
     snap.quality = r->quality();
     snap.cost = r->cost();
     snap.drafts = !config_.spec_draft.empty() && r->name() == config_.spec_draft;
+    snap.remote = r->remote();
+    snap.pid = r->pid();
+    snap.restarts = r->restart_count();
+    snap.heartbeat_age_ms = r->heartbeat_age_ms();
     out.push_back(std::move(snap));
   }
   return out;
@@ -340,7 +378,7 @@ void VariantRouter::shutdown() {
     response.message = "router stopped before the request ran";
     resolve(*job, std::move(response), "");
   }
-  for (const auto& r : replicas_) r->server().shutdown();
+  for (const auto& r : replicas_) r->shutdown_host();
 }
 
 void VariantRouter::bump_stats(RequestState state) {
@@ -612,9 +650,17 @@ void VariantRouter::handle_outcome(detail::RouteJob& job,
       break;
     case RequestState::kFailed:
       if (response.error == ErrorKind::kInterrupted) {
-        // Signal-initiated server drain: not the replica's fault, and the
-        // process is going down — terminal, breaker untouched.
-        outcome = HealthBreaker::Outcome::kNeutral;
+        if (r.remote()) {
+          // A remote worker draining means *that replica* is going away
+          // (rolling upgrade / SIGTERM), not this process — siblings can
+          // still serve the request.
+          outcome = HealthBreaker::Outcome::kFailure;
+          terminal = false;
+        } else {
+          // Signal-initiated server drain: not the replica's fault, and the
+          // process is going down — terminal, breaker untouched.
+          outcome = HealthBreaker::Outcome::kNeutral;
+        }
       } else {
         // Hung worker (kTimeout), NaN logits, decode exceptions: the
         // replica is misbehaving — trip the breaker and fail over.

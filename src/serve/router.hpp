@@ -57,11 +57,18 @@ struct RouterConfig {
                                        // speculative decode ("" = off); takes
                                        // effect when server.spec_k > 0
 
+  // Host each variant in its own `replica-worker` child process (VariantSpec
+  // must carry checkpoint paths). Incompatible with spec_draft — the draft
+  // pointer cannot cross a process boundary.
+  bool cross_process = false;
+  RemoteReplicaConfig remote;          // supervision knobs for cross-process
+
   BreakerConfig breaker;               // shared by every replica's breaker
   ServerConfig server;                 // shared by every replica's server
 
   // SDD_ROUTE_FAILOVER_MAX, SDD_ROUTE_CHEAP_DEADLINE_MS, SDD_SPEC_DRAFT,
-  // plus BreakerConfig::from_env() and ServerConfig::from_env().
+  // SDD_REPLICA_PROCESS, plus BreakerConfig::from_env(),
+  // ServerConfig::from_env(), and RemoteReplicaConfig::from_env().
   static RouterConfig from_env();
 };
 
@@ -152,13 +159,22 @@ struct ReplicaSnapshot {
   double quality = 0.0;
   std::int64_t cost = 0;
   bool drafts = false;  // this replica drafts for its siblings
+  // Cross-process hosting telemetry (pid -1 / restarts 0 / age -1 for local).
+  bool remote = false;
+  std::int64_t pid = -1;
+  std::int64_t restarts = 0;
+  std::int64_t heartbeat_age_ms = -1;
 };
 
-// A variant to host: the router takes ownership of the model.
+// A variant to host: the router takes ownership of the model. Cross-process
+// routing loads nothing in the parent — `model` stays default-constructed
+// and `path` names the checkpoint the worker process loads.
 struct VariantSpec {
   std::string name;
   nn::TransformerLM model;
   double quality = 0.5;  // fallback score when the table has no entry
+  std::string path;           // checkpoint for cross-process hosting
+  std::int64_t cost_hint = 0; // routing cost until the worker's HELLO
 };
 
 class VariantRouter {

@@ -31,6 +31,38 @@ struct Job {
   Response response;
 };
 
+// ---- RemoteJob (cross-process seam) ----------------------------------------
+
+std::shared_ptr<Job> RemoteJob::make(Request request) {
+  auto job = std::make_shared<Job>();
+  job->request = std::move(request);
+  job->submitted_at = std::chrono::steady_clock::now();
+  return job;
+}
+
+TicketPtr RemoteJob::ticket(const std::shared_ptr<Job>& job) {
+  return TicketPtr{new Ticket{job}};
+}
+
+const Request& RemoteJob::request(Job& job) { return job.request; }
+
+bool RemoteJob::cancel_requested(Job& job) { return job.cancel.cancelled(); }
+
+bool RemoteJob::terminal(Job& job) {
+  const std::lock_guard<std::mutex> lock{job.mutex};
+  return job.terminal;
+}
+
+void RemoteJob::resolve(Job& job, Response response) {
+  {
+    const std::lock_guard<std::mutex> lock{job.mutex};
+    if (job.terminal) return;
+    job.response = std::move(response);
+    job.terminal = true;
+  }
+  job.cv.notify_all();
+}
+
 }  // namespace detail
 
 namespace {

@@ -128,6 +128,7 @@ struct Response {
 
 namespace detail {
 struct Job;
+class RemoteJob;
 }
 
 // Client-side handle to a submitted request. Resolved exactly once.
@@ -144,11 +145,36 @@ class Ticket {
 
  private:
   friend class InferenceServer;
+  friend class detail::RemoteJob;
   explicit Ticket(std::shared_ptr<detail::Job> job) : job_{std::move(job)} {}
   std::shared_ptr<detail::Job> job_;
 };
 
 using TicketPtr = std::shared_ptr<Ticket>;
+
+namespace detail {
+
+// Seam for cross-process replicas (serve/remote_replica): mint and resolve
+// serving jobs without an InferenceServer behind them. The parent-side
+// supervisor hands out ordinary Tickets whose requests are actually decoded
+// in a worker process; the wire Response is copied in whole (queue_ms /
+// decode_ms are the child's own measurements). A remote job carries a plain
+// CancelToken with no parent-side deadline — the worker enforces
+// Request::deadline_ms itself, so a parent timer could only mislabel a
+// timeout as a cancellation.
+class RemoteJob {
+ public:
+  static std::shared_ptr<Job> make(Request request);  // stamps submitted_at
+  static TicketPtr ticket(const std::shared_ptr<Job>& job);
+  static const Request& request(Job& job);
+  static bool cancel_requested(Job& job);
+  static bool terminal(Job& job);
+  // Resolves the ticket exactly once (first caller wins; later calls are
+  // ignored so a late wire response cannot overwrite a failover verdict).
+  static void resolve(Job& job, Response response);
+};
+
+}  // namespace detail
 
 struct ServerStats {
   std::int64_t submitted = 0;

@@ -33,6 +33,9 @@ struct State {
   std::atomic<std::int64_t> fleet_claims{0};
   std::atomic<std::int64_t> fleet_completions{0};
   std::atomic<std::int64_t> replica_dispatches{0};
+  std::atomic<std::int64_t> replica_requests{0};
+  std::atomic<bool> replica_wedge_flag{false};
+  std::atomic<bool> torn_frame_fired{false};
   std::atomic<std::int64_t> draft_logit_checks{0};
   std::mutex rng_mutex;
   Rng rng{0};
@@ -70,7 +73,8 @@ void init_from_env() {
                 "hang_decode:N, nan_decode:N, worker_kill9:at=N, "
                 "worker_stall:N, claim_race, orch_crash:N, "
                 "replica_fail:at=N, replica_fail_n:K, replica_idx:I, "
-                "replica_slow:MS, breaker_flap, spec_reject_storm[:p=P], "
+                "replica_slow:MS, breaker_flap, replica_kill9:at=N, "
+                "replica_wedge:N, ipc_torn_frame, spec_reject_storm[:p=P], "
                 "draft_nan:N, mode:throw|exit, seed:N (comma-combined)");
       std::exit(64);  // EX_USAGE
     }
@@ -202,6 +206,15 @@ FaultConfig parse_fault_spec(const std::string& spec) {
       }
     } else if (name == "breaker_flap") {
       config.breaker_flap = true;
+    } else if (name == "replica_kill9") {
+      // accepts "replica_kill9:at=2" and "replica_kill9:2"
+      const std::string at = arg.rfind("at=", 0) == 0 ? arg.substr(3) : arg;
+      config.replica_kill9_at = parse_int(at, directive);
+    } else if (name == "replica_wedge") {
+      const std::string at = arg.rfind("at=", 0) == 0 ? arg.substr(3) : arg;
+      config.replica_wedge_at = parse_int(at, directive);
+    } else if (name == "ipc_torn_frame") {
+      config.ipc_torn_frame = true;
     } else if (name == "spec_reject_storm") {
       // accepts bare "spec_reject_storm" (always corrupt),
       // "spec_reject_storm:p=0.5", and "spec_reject_storm:0.5"
@@ -244,6 +257,9 @@ void configure(const FaultConfig& config) {
   s.fleet_claims.store(0, std::memory_order_relaxed);
   s.fleet_completions.store(0, std::memory_order_relaxed);
   s.replica_dispatches.store(0, std::memory_order_relaxed);
+  s.replica_requests.store(0, std::memory_order_relaxed);
+  s.replica_wedge_flag.store(false, std::memory_order_relaxed);
+  s.torn_frame_fired.store(false, std::memory_order_relaxed);
   s.draft_logit_checks.store(0, std::memory_order_relaxed);
   {
     const std::lock_guard<std::mutex> lock{s.rng_mutex};
@@ -465,6 +481,54 @@ std::int64_t replica_dispatch_delay_ms(std::int64_t index) {
   State& s = state();
   if (s.config.replica_slow_ms <= 0) return 0;
   return index == s.config.replica_fault_index ? s.config.replica_slow_ms : 0;
+}
+
+void on_replica_request() {
+  if (!enabled()) return;
+  State& s = state();
+  if (s.config.replica_kill9_at < 0 && s.config.replica_wedge_at < 0) return;
+  const std::int64_t request =
+      s.replica_requests.fetch_add(1, std::memory_order_relaxed);
+  if (s.config.replica_kill9_at >= 0 &&
+      request == s.config.replica_kill9_at) {
+    if (s.config.mode == CrashMode::kThrow) {
+      throw FaultCrash("injected replica kill -9 at request frame #" +
+                       std::to_string(request));
+    }
+    log_error("fault: SIGKILLing replica worker at request frame #", request);
+    ::raise(SIGKILL);
+    std::_Exit(137);  // unreachable backstop
+  }
+  if (s.config.replica_wedge_at >= 0 &&
+      request == s.config.replica_wedge_at) {
+    // Flag first so the heartbeat thread falls silent, then park the request
+    // loop: the supervisor's liveness lease — not a request error — must be
+    // what detects this.
+    s.replica_wedge_flag.store(true, std::memory_order_release);
+    log_warn("fault: replica worker wedging at request frame #", request,
+             " (heartbeats stop; waiting for supervisor SIGKILL, cap ",
+             s.config.hang_cap_ms, " ms)");
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds{s.config.hang_cap_ms});
+    if (s.config.mode == CrashMode::kThrow) {
+      throw FaultCrash("injected replica wedge expired unkilled at frame #" +
+                       std::to_string(request));
+    }
+    log_error("fault: wedged replica outlived hang cap — _Exit(137)");
+    std::_Exit(137);
+  }
+}
+
+bool replica_wedged() {
+  if (!enabled()) return false;
+  return state().replica_wedge_flag.load(std::memory_order_acquire);
+}
+
+bool should_tear_frame() {
+  if (!enabled()) return false;
+  State& s = state();
+  if (!s.config.ipc_torn_frame) return false;
+  return !s.torn_frame_fired.exchange(true, std::memory_order_acq_rel);
 }
 
 std::int32_t corrupt_draft_token(std::int32_t token, std::int32_t vocab) {

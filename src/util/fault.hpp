@@ -65,6 +65,20 @@
 //                                   bursts of three (ordinals 3-5, 9-11, ...)
 //                                   so its breaker repeatedly opens, probes
 //                                   closed, and re-opens
+//   SDD_FAULT="replica_kill9:at=N"  a serving replica worker raises SIGKILL
+//                                   on receiving its Nth REQUEST frame
+//                                   (0-based, per-process counter) — the
+//                                   supervisor must fail the in-flight
+//                                   requests over and respawn
+//   SDD_FAULT="replica_wedge:N"     a replica worker wedges on its Nth
+//                                   REQUEST frame: the heartbeat thread goes
+//                                   silent and the worker parks until the
+//                                   supervisor's lease expires and SIGKILLs
+//                                   it (hang_cap safety exit 137 otherwise)
+//   SDD_FAULT="ipc_torn_frame"      a replica worker writes half a RESPONSE
+//                                   frame then dies (once per process); the
+//                                   reader must classify the torn frame as
+//                                   retryable worker_lost
 //   SDD_FAULT="spec_reject_storm"   corrupt every speculative draft proposal
 //                                   (or a fraction with :p=P) so the target
 //                                   rejects it; output bytes must not change
@@ -120,6 +134,9 @@ struct FaultConfig {
   std::int64_t replica_fail_count = 6;   // width of the failure window
   std::int64_t replica_slow_ms = 0;   // transit delay to the target replica
   bool breaker_flap = false;          // fail target dispatches in bursts of 3
+  std::int64_t replica_kill9_at = -1;  // SIGKILL self at this REQUEST frame
+  std::int64_t replica_wedge_at = -1;  // wedge (heartbeats stop) at this frame
+  bool ipc_torn_frame = false;         // tear one RESPONSE frame, then die
   double spec_reject_p = 0.0;         // probability a draft proposal is corrupted
   std::int64_t draft_nan = -1;        // poison this draft logits row (-1 = never)
   std::int64_t hang_cap_ms = 60'000;  // safety cap for an unwatched hang
@@ -132,7 +149,8 @@ struct FaultConfig {
            slow_io_ms > 0 || alloc_fail_at >= 0 || hang_decode >= 0 ||
            nan_decode >= 0 || worker_kill9_at >= 0 || worker_stall_at >= 0 ||
            claim_race || orch_crash_at >= 0 || replica_fail_at >= 0 ||
-           replica_slow_ms > 0 || breaker_flap || spec_reject_p > 0.0 ||
+           replica_slow_ms > 0 || breaker_flap || replica_kill9_at >= 0 ||
+           replica_wedge_at >= 0 || ipc_torn_frame || spec_reject_p > 0.0 ||
            draft_nan >= 0;
   }
 };
@@ -225,6 +243,25 @@ bool should_fail_replica(std::int64_t index);
 // for the target replica, 0 otherwise. Stateless; the router applies it as
 // a non-blocking not_before gate (one delay per request).
 std::int64_t replica_dispatch_delay_ms(std::int64_t index);
+
+// Called by a cross-process replica worker once per REQUEST frame it receives
+// (per-process counter). replica_kill9 raises SIGKILL on the armed frame —
+// the parent supervisor observes a reaped pid and torn stream. replica_wedge
+// sets the wedged flag (the worker's heartbeat thread checks replica_wedged()
+// and stops beating) and parks the request loop until the supervisor's lease
+// expires and it is SIGKILLed, with a hang_cap_ms safety exit 137. Under
+// mode:throw both throw FaultCrash instead (in-process tests).
+void on_replica_request();
+
+// True once replica_wedge has fired: the worker's heartbeat thread must go
+// silent so the supervisor's liveness lease — not the request path — detects
+// the wedge.
+bool replica_wedged();
+
+// True exactly once per process when ipc_torn_frame is armed: the replica
+// worker writes a deliberately torn RESPONSE frame and dies, so the parent
+// exercises the torn-frame → worker_lost classification end to end.
+bool should_tear_frame();
 
 // Called by the speculative decoder on every draft proposal. With
 // spec_reject_storm armed, returns a corrupted token (shifted by one, mod

@@ -6,6 +6,7 @@
 #include <cstring>
 #include <thread>
 
+#include <fcntl.h>
 #include <sys/wait.h>
 #include <time.h>
 #include <unistd.h>
@@ -34,7 +35,8 @@ std::filesystem::path self_exe() {
 }
 
 std::int64_t spawn(const std::vector<std::string>& argv,
-                   const std::vector<std::string>& env_overrides) {
+                   const std::vector<std::string>& env_overrides,
+                   const std::vector<int>& inherit_fds) {
   if (argv.empty()) {
     throw Error(ErrorKind::kFatal, "proc: spawn with empty argv");
   }
@@ -74,6 +76,12 @@ std::int64_t spawn(const std::vector<std::string>& argv,
                 std::string{"proc: fork failed: "} + std::strerror(errno));
   }
   if (pid == 0) {
+    // Clear FD_CLOEXEC on the fds this child must keep (fcntl is
+    // async-signal-safe); every other CLOEXEC fd — including the socketpair
+    // ends of concurrently spawned siblings — closes at exec.
+    for (const int fd : inherit_fds) {
+      ::fcntl(fd, F_SETFD, 0);
+    }
     ::execve(argv_ptrs[0], argv_ptrs.data(), env_ptrs.data());
     // exec failed; 127 is the shell convention for "command not runnable".
     ::_exit(127);
@@ -87,10 +95,18 @@ bool alive(std::int64_t pid) {
 }
 
 void send_signal(std::int64_t pid, int signum) noexcept {
-  if (pid > 0) ::kill(static_cast<pid_t>(pid), signum);
+  // pid 0 / -1 / -pgid forms of kill() signal whole groups; a stale pid
+  // sentinel must never fan out like that. pid 1 is refused for the same
+  // defence-in-depth reason (containers run us as init's descendants).
+  if (pid > 1) ::kill(static_cast<pid_t>(pid), signum);
 }
 
 std::optional<ExitStatus> try_reap(std::int64_t pid) {
+  if (pid <= 1) {
+    throw Error(ErrorKind::kFatal,
+                "proc: refusing to reap pid " + std::to_string(pid) +
+                    " (waitpid would collect an arbitrary child)");
+  }
   int status = 0;
   const pid_t reaped = ::waitpid(static_cast<pid_t>(pid), &status, WNOHANG);
   if (reaped == 0) return std::nullopt;
@@ -119,6 +135,11 @@ std::optional<ExitStatus> wait_reap(std::int64_t pid, std::int64_t timeout_ms) {
 }
 
 ExitStatus terminate(std::int64_t pid, std::int64_t grace_ms) {
+  if (pid <= 1) {
+    throw Error(ErrorKind::kFatal,
+                "proc: refusing to terminate pid " + std::to_string(pid) +
+                    " (stale sentinel would signal the whole session)");
+  }
   send_signal(pid, SIGTERM);
   if (auto status = wait_reap(pid, grace_ms)) return *status;
   send_signal(pid, SIGKILL);

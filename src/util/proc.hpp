@@ -27,16 +27,22 @@ std::int64_t monotonic_ms();
 std::filesystem::path self_exe();
 
 // fork + execve. `argv[0]` is the program path; `env_overrides` are KEY=VALUE
-// strings appended to (and overriding) the inherited environment. Returns the
-// child pid; throws Error{kWorkerLost} when the fork fails. An exec failure
-// inside the child exits 127.
+// strings appended to (and overriding) the inherited environment.
+// `inherit_fds` are descriptors that survive the exec: they are opened
+// CLOEXEC in the parent (so concurrently spawned siblings never leak them)
+// and the child clears the flag on its own copies between fork and exec.
+// Returns the child pid; throws Error{kWorkerLost} when the fork fails. An
+// exec failure inside the child exits 127.
 std::int64_t spawn(const std::vector<std::string>& argv,
-                   const std::vector<std::string>& env_overrides = {});
+                   const std::vector<std::string>& env_overrides = {},
+                   const std::vector<int>& inherit_fds = {});
 
 // True when `pid` still exists (kill(pid, 0) semantics).
 bool alive(std::int64_t pid);
 
-// Best-effort signal delivery; never throws.
+// Best-effort signal delivery; never throws. Refuses pid <= 1: a stale
+// sentinel (-1 or 0) passed to kill() would signal the whole process group
+// or session — silently doing nothing is the only safe interpretation.
 void send_signal(std::int64_t pid, int signum) noexcept;
 
 struct ExitStatus {
@@ -47,7 +53,8 @@ struct ExitStatus {
 };
 
 // Non-blocking reap of one child. nullopt while the child is still running;
-// throws Error{kWorkerLost} if `pid` is not a child of this process.
+// throws Error{kWorkerLost} if `pid` is not a child of this process and
+// Error{kFatal} on pid <= 1 (waitpid(-1) would reap an arbitrary child).
 std::optional<ExitStatus> try_reap(std::int64_t pid);
 
 // Polls try_reap until the child exits or `timeout_ms` elapses.
@@ -55,6 +62,8 @@ std::optional<ExitStatus> wait_reap(std::int64_t pid, std::int64_t timeout_ms);
 
 // SIGTERM, wait up to `grace_ms`, then SIGKILL and reap. Used for fleet
 // shutdown so workers get a chance to run their graceful-signal path.
+// Throws Error{kFatal} on pid <= 1 — a stale sentinel here would
+// kill(-1, SIGKILL) everything the user owns.
 ExitStatus terminate(std::int64_t pid, std::int64_t grace_ms);
 
 }  // namespace sdd::proc

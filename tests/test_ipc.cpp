@@ -1,0 +1,281 @@
+// Tests for the framed IPC transport (src/util/ipc) and the POSIX process
+// helpers (src/util/proc): frame round-trips, torn/corrupt frame
+// classification, payload codec bounds, the pid<=1 guard rails, and — in
+// non-TSan builds — real fork/exec behaviour (env_overrides precedence,
+// exec-failure exit 127, SIGTERM -> SIGKILL escalation, non-child reaps).
+#include <csignal>
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/ipc.hpp"
+#include "util/proc.hpp"
+
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define SDD_TSAN 1
+#endif
+#elif defined(__SANITIZE_THREAD__)
+#define SDD_TSAN 1
+#endif
+
+namespace sdd {
+namespace {
+
+// A socketpair that closes whatever ends are still open on scope exit.
+struct Pair {
+  Pair() {
+    const ipc::SocketPair p = ipc::socket_pair();
+    a = p.parent_fd;
+    b = p.child_fd;
+  }
+  ~Pair() {
+    close_a();
+    close_b();
+  }
+  void close_a() {
+    if (a >= 0) ::close(a);
+    a = -1;
+  }
+  void close_b() {
+    if (b >= 0) ::close(b);
+    b = -1;
+  }
+  int a = -1;
+  int b = -1;
+};
+
+ErrorKind thrown_kind(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const Error& e) {
+    return e.kind();
+  }
+  ADD_FAILURE() << "expected an sdd::Error";
+  return ErrorKind::kFatal;
+}
+
+TEST(Ipc, FrameRoundTrip) {
+  Pair p;
+  const std::string payload = "hello across the boundary";
+  ipc::write_frame(p.a, 7, payload);
+
+  ipc::Frame frame;
+  ASSERT_EQ(ipc::read_frame(p.b, &frame, 1000), ipc::ReadStatus::kFrame);
+  EXPECT_EQ(frame.type, 7);
+  EXPECT_EQ(frame.payload, payload);
+}
+
+TEST(Ipc, EmptyPayloadAndBackToBackFramesKeepBoundaries) {
+  Pair p;
+  ipc::write_frame(p.a, 1, "");
+  ipc::write_frame(p.a, 2, "second");
+  ipc::write_frame(p.a, 3, std::string(4096, 'x'));
+
+  ipc::Frame frame;
+  ASSERT_EQ(ipc::read_frame(p.b, &frame, 1000), ipc::ReadStatus::kFrame);
+  EXPECT_EQ(frame.type, 1);
+  EXPECT_TRUE(frame.payload.empty());
+  ASSERT_EQ(ipc::read_frame(p.b, &frame, 1000), ipc::ReadStatus::kFrame);
+  EXPECT_EQ(frame.type, 2);
+  EXPECT_EQ(frame.payload, "second");
+  ASSERT_EQ(ipc::read_frame(p.b, &frame, 1000), ipc::ReadStatus::kFrame);
+  EXPECT_EQ(frame.type, 3);
+  EXPECT_EQ(frame.payload.size(), 4096U);
+}
+
+TEST(Ipc, TimeoutWhenNothingArrives) {
+  Pair p;
+  ipc::Frame frame;
+  EXPECT_EQ(ipc::read_frame(p.b, &frame, 30), ipc::ReadStatus::kTimeout);
+}
+
+TEST(Ipc, CleanEofAtFrameBoundaryIsClosedNotError) {
+  Pair p;
+  ipc::write_frame(p.a, 4, "last words");
+  p.close_a();
+
+  ipc::Frame frame;
+  ASSERT_EQ(ipc::read_frame(p.b, &frame, 1000), ipc::ReadStatus::kFrame);
+  EXPECT_EQ(frame.payload, "last words");
+  EXPECT_EQ(ipc::read_frame(p.b, &frame, 1000), ipc::ReadStatus::kClosed);
+}
+
+TEST(Ipc, TornFrameThenEofIsWorkerLost) {
+  Pair p;
+  ipc::write_torn_frame(p.a, 4, "this frame will never finish");
+  p.close_a();  // the writer "dies" mid-frame
+
+  ipc::Frame frame;
+  EXPECT_EQ(thrown_kind([&] { ipc::read_frame(p.b, &frame, 1000); }),
+            ErrorKind::kWorkerLost);
+}
+
+// Capture one valid frame's raw bytes so corruption tests mangle the real
+// wire format instead of duplicating the header layout here.
+std::string raw_frame_bytes(std::uint8_t type, const std::string& payload) {
+  Pair p;
+  ipc::write_frame(p.a, type, payload);
+  std::string raw(payload.size() + 64, '\0');
+  const ssize_t n = ::read(p.b, raw.data(), raw.size());
+  EXPECT_GT(n, 0);
+  raw.resize(static_cast<std::size_t>(n));
+  return raw;
+}
+
+void write_raw(int fd, const std::string& bytes) {
+  ASSERT_EQ(::write(fd, bytes.data(), bytes.size()),
+            static_cast<ssize_t>(bytes.size()));
+}
+
+TEST(Ipc, CorruptedPayloadFailsChecksum) {
+  std::string raw = raw_frame_bytes(9, "checksummed payload");
+  raw[20] ^= 0x5A;  // flip a payload byte; header stays valid
+
+  Pair p;
+  write_raw(p.a, raw);
+  ipc::Frame frame;
+  EXPECT_EQ(thrown_kind([&] { ipc::read_frame(p.b, &frame, 1000); }),
+            ErrorKind::kWorkerLost);
+}
+
+TEST(Ipc, CorruptedMagicIsWorkerLost) {
+  std::string raw = raw_frame_bytes(9, "payload");
+  raw[0] ^= 0xFF;
+
+  Pair p;
+  write_raw(p.a, raw);
+  ipc::Frame frame;
+  EXPECT_EQ(thrown_kind([&] { ipc::read_frame(p.b, &frame, 1000); }),
+            ErrorKind::kWorkerLost);
+}
+
+TEST(Ipc, OversizedLengthIsRejectedNotAllocated) {
+  std::string raw = raw_frame_bytes(9, "payload");
+  // Length field: bytes 8..15 of the header, little-endian. Max it out so a
+  // naive reader would try to allocate ~2^64 bytes.
+  for (int i = 8; i < 16; ++i) raw[static_cast<std::size_t>(i)] = '\xFF';
+
+  Pair p;
+  write_raw(p.a, raw);
+  ipc::Frame frame;
+  EXPECT_EQ(thrown_kind([&] { ipc::read_frame(p.b, &frame, 1000); }),
+            ErrorKind::kWorkerLost);
+}
+
+TEST(Ipc, PayloadCodecRoundTrip) {
+  ipc::PayloadWriter w;
+  w.u8(0xAB);
+  w.i32(-123456);
+  w.i64(-987654321012345LL);
+  w.u64(0xDEADBEEFCAFEF00DULL);
+  w.f32(3.5F);
+  w.str("variant-name");
+  w.vec_i32({1, -2, 3, -4});
+
+  ipc::PayloadReader r{w.bytes()};
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.i32(), -123456);
+  EXPECT_EQ(r.i64(), -987654321012345LL);
+  EXPECT_EQ(r.u64(), 0xDEADBEEFCAFEF00DULL);
+  EXPECT_EQ(r.f32(), 3.5F);
+  EXPECT_EQ(r.str(), "variant-name");
+  EXPECT_EQ(r.vec_i32(), (std::vector<std::int32_t>{1, -2, 3, -4}));
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Ipc, PayloadReaderOverrunIsWorkerLost) {
+  ipc::PayloadWriter w;
+  w.i32(42);
+  ipc::PayloadReader r{w.bytes()};
+  EXPECT_EQ(r.i32(), 42);
+  EXPECT_EQ(thrown_kind([&] { r.u64(); }), ErrorKind::kWorkerLost);
+}
+
+// ---- pid guard rails (no fork needed) --------------------------------------
+
+TEST(ProcGuard, SendSignalRefusesSentinelPids) {
+  // kill(-1)/kill(0) would signal the whole group/session; the guard turns a
+  // stale sentinel into a silent no-op. Surviving these calls IS the test.
+  proc::send_signal(-1, SIGTERM);
+  proc::send_signal(0, SIGTERM);
+  proc::send_signal(1, SIGTERM);
+}
+
+TEST(ProcGuard, TryReapRefusesSentinelPids) {
+  EXPECT_EQ(thrown_kind([] { proc::try_reap(-1); }), ErrorKind::kFatal);
+  EXPECT_EQ(thrown_kind([] { proc::try_reap(0); }), ErrorKind::kFatal);
+  EXPECT_EQ(thrown_kind([] { proc::try_reap(1); }), ErrorKind::kFatal);
+}
+
+TEST(ProcGuard, TerminateRefusesSentinelPids) {
+  EXPECT_EQ(thrown_kind([] { proc::terminate(-1, 100); }), ErrorKind::kFatal);
+  EXPECT_EQ(thrown_kind([] { proc::terminate(0, 100); }), ErrorKind::kFatal);
+  EXPECT_EQ(thrown_kind([] { proc::terminate(1, 100); }), ErrorKind::kFatal);
+}
+
+#if !defined(SDD_TSAN)
+// ---- fork/exec behaviour (compiled out under TSan) -------------------------
+
+TEST(ProcFork, EnvOverridesTakePrecedenceOverInherited) {
+  ASSERT_EQ(::setenv("SDD_PROC_TEST_VAR", "inherited", 1), 0);
+  const std::int64_t pid = proc::spawn(
+      {"/bin/sh", "-c", "test \"$SDD_PROC_TEST_VAR\" = override"},
+      {"SDD_PROC_TEST_VAR=override"});
+  const auto status = proc::wait_reap(pid, 5'000);
+  ::unsetenv("SDD_PROC_TEST_VAR");
+  ASSERT_TRUE(status.has_value());
+  EXPECT_TRUE(status->clean()) << "child saw exit " << status->exit_code;
+}
+
+TEST(ProcFork, ExecFailureExits127) {
+  const std::int64_t pid = proc::spawn({"/nonexistent/sdd_no_such_binary"});
+  const auto status = proc::wait_reap(pid, 5'000);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->exit_code, 127);
+  EXPECT_EQ(status->term_signal, 0);
+}
+
+TEST(ProcFork, TerminateEscalatesToSigkillWhenTermIsIgnored) {
+  // The child reports over an inherited fd once the trap is installed;
+  // terminating earlier would race the default TERM disposition.
+  Pair ready;
+  const std::int64_t pid = proc::spawn(
+      {"/bin/sh", "-c",
+       "trap '' TERM; printf r >&" + std::to_string(ready.b) + "; sleep 30"},
+      {}, {ready.b});
+  char byte = 0;
+  ASSERT_EQ(::read(ready.a, &byte, 1), 1);
+  const auto status = proc::terminate(pid, /*grace_ms=*/300);
+  EXPECT_EQ(status.term_signal, SIGKILL);
+  EXPECT_FALSE(proc::alive(pid));
+}
+
+TEST(ProcFork, TryReapNonChildIsWorkerLost) {
+  // Our parent process exists but is not our child: waitpid says ECHILD.
+  EXPECT_EQ(thrown_kind([] { proc::try_reap(::getppid()); }),
+            ErrorKind::kWorkerLost);
+}
+
+TEST(ProcFork, InheritedFdSurvivesExec) {
+  Pair p;
+  const std::int64_t pid = proc::spawn(
+      {"/bin/sh", "-c", "printf x >&" + std::to_string(p.b)}, {}, {p.b});
+  const auto status = proc::wait_reap(pid, 5'000);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_TRUE(status->clean()) << "redirect failed: fd did not survive exec";
+  char byte = 0;
+  EXPECT_EQ(::read(p.a, &byte, 1), 1);
+  EXPECT_EQ(byte, 'x');
+}
+#endif  // !SDD_TSAN
+
+}  // namespace
+}  // namespace sdd

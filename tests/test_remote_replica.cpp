@@ -1,0 +1,343 @@
+// Fork-based tests for cross-process serving replicas (src/serve/
+// remote_replica) and the router's cross-process mode: the spawn_fn test seam
+// forks a real worker process (no exec) so the full IPC protocol, heartbeat
+// lease, crash respawn, rolling swap, and router failover run against live
+// pids. The whole file compiles out under TSan (fork + threads is outside
+// its model); thread-only coverage of the routing layer lives in
+// test_router.cpp.
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define SDD_TSAN 1
+#endif
+#elif defined(__SANITIZE_THREAD__)
+#define SDD_TSAN 1
+#endif
+
+#if !defined(SDD_TSAN)
+
+#include "nn/decode.hpp"
+#include "nn/transformer.hpp"
+#include "serve/remote_replica.hpp"
+#include "serve/router.hpp"
+#include "serve/serve.hpp"
+#include "test_helpers.hpp"
+#include "util/proc.hpp"
+#include "util/signals.hpp"
+
+namespace sdd {
+namespace {
+
+namespace fs = std::filesystem;
+using namespace std::chrono_literals;
+using serve::RemoteReplica;
+using serve::RemoteReplicaConfig;
+using serve::Request;
+using serve::RequestState;
+using serve::RouteRequest;
+using serve::RouterConfig;
+using serve::VariantRouter;
+using serve::VariantSpec;
+using testing::tiny_config;
+
+class TempDir {
+ public:
+  TempDir() {
+    path_ = fs::temp_directory_path() /
+            ("sdd_remote_test_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter_++));
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  const fs::path& path() const { return path_; }
+
+ private:
+  static inline std::atomic<int> counter_{0};
+  fs::path path_;
+};
+
+// Spawn seam: fork (no exec) and run the worker entry point directly in the
+// child. The tiny test models sit far below the kernel parallel-dispatch
+// thresholds, so the child never touches the thread pool it inherited
+// workerless from the fork.
+RemoteReplicaConfig fork_config() {
+  RemoteReplicaConfig config;
+  config.heartbeat_ms = 15;
+  config.lease_ms = 500;
+  config.backoff_ms = 20;
+  config.backoff_cap_ms = 100;
+  config.spawn_fn = [](int child_fd, const std::string& model_path,
+                       const std::string& name) -> std::int64_t {
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      signals::install_graceful_shutdown();
+      ::_exit(serve::replica_worker_main(model_path, name, child_fd, 15));
+    }
+    return static_cast<std::int64_t>(pid);
+  };
+  return config;
+}
+
+Request request_for(std::uint64_t salt) {
+  Request request;
+  request.prompt = {static_cast<std::int32_t>(1 + salt % 7),
+                    static_cast<std::int32_t>(3 + salt % 11),
+                    static_cast<std::int32_t>(2 + salt % 5)};
+  request.max_new_tokens = 6;
+  request.seed = 7000 + salt;
+  return request;
+}
+
+std::vector<std::int32_t> reference_tokens(const nn::TransformerLM& model,
+                                           const Request& request) {
+  nn::GenerateOptions options;
+  options.max_new_tokens = request.max_new_tokens;
+  options.temperature = request.temperature;
+  options.stop_token = request.stop_token;
+  options.seed = request.seed;
+  return nn::generate(model, request.prompt, options);
+}
+
+bool wait_until(const std::function<bool()>& pred,
+                std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(5ms);
+  }
+  return pred();
+}
+
+constexpr auto kWait = 60s;  // generous terminal-state bound for CI machines
+
+TEST(RemoteReplicaFork, ServesBitIdenticalAcrossProcessBoundary) {
+  TempDir tmp;
+  const nn::TransformerLM model{tiny_config(), 901};
+  const std::string path = (tmp.path() / "full.bin").string();
+  model.save(path);
+
+  RemoteReplica replica{"full", path, fork_config(), [](const std::string&) {}};
+  ASSERT_TRUE(wait_until([&] { return replica.ready(); }, 30s));
+  EXPECT_GT(replica.cost(), 0);
+  EXPECT_GT(replica.pid(), 1);
+
+  for (std::uint64_t salt = 0; salt < 4; ++salt) {
+    const Request request = request_for(salt);
+    auto ticket = replica.submit(request);
+    ASSERT_TRUE(ticket->wait_for(kWait));
+    const serve::Response& response = ticket->wait();
+    ASSERT_EQ(response.state, RequestState::kCompleted) << response.message;
+    EXPECT_EQ(response.tokens, reference_tokens(model, request))
+        << "tokens changed crossing the process boundary (salt " << salt
+        << ")";
+  }
+  replica.shutdown();
+}
+
+TEST(RemoteReplicaFork, Kill9FailsTicketsOverAndRespawns) {
+  TempDir tmp;
+  const nn::TransformerLM model{tiny_config(), 902};
+  const std::string path = (tmp.path() / "full.bin").string();
+  model.save(path);
+
+  std::atomic<int> deaths{0};
+  RemoteReplica replica{"full", path, fork_config(),
+                        [&](const std::string&) { ++deaths; }};
+  ASSERT_TRUE(wait_until([&] { return replica.ready(); }, 30s));
+  const std::int64_t first_pid = replica.pid();
+
+  ::kill(static_cast<pid_t>(first_pid), SIGKILL);
+
+  // A submit racing the death resolves retryable worker_lost, never hangs.
+  auto ticket = replica.submit(request_for(0));
+  ASSERT_TRUE(ticket->wait_for(kWait));
+  const serve::Response& during = ticket->wait();
+  if (during.state != RequestState::kCompleted) {
+    EXPECT_EQ(during.state, RequestState::kFailed);
+    ASSERT_TRUE(during.error.has_value());
+    EXPECT_EQ(*during.error, ErrorKind::kWorkerLost);
+    EXPECT_TRUE(during.retryable);
+  }
+
+  // Supervision: death detected exactly once, then a respawn with a new pid.
+  ASSERT_TRUE(wait_until(
+      [&] { return replica.ready() && replica.pid() != first_pid; }, 30s));
+  EXPECT_EQ(deaths.load(), 1);
+  EXPECT_GE(replica.restarts(), 1);
+  EXPECT_GE(replica.stats().respawns, 1);
+
+  const Request request = request_for(1);
+  auto after = replica.submit(request);
+  ASSERT_TRUE(after->wait_for(kWait));
+  ASSERT_EQ(after->wait().state, RequestState::kCompleted)
+      << after->wait().message;
+  EXPECT_EQ(after->wait().tokens, reference_tokens(model, request));
+  replica.shutdown();
+}
+
+TEST(RemoteReplicaFork, LeaseExpiryDetectsWedgedWorker) {
+  TempDir tmp;
+  const nn::TransformerLM model{tiny_config(), 903};
+  const std::string path = (tmp.path() / "full.bin").string();
+  model.save(path);
+
+  RemoteReplicaConfig config = fork_config();
+  config.lease_ms = 250;
+  std::atomic<int> deaths{0};
+  RemoteReplica replica{"full", path, config,
+                        [&](const std::string&) { ++deaths; }};
+  ASSERT_TRUE(wait_until([&] { return replica.ready(); }, 30s));
+  const std::int64_t first_pid = replica.pid();
+
+  // SIGSTOP silences the heartbeat without killing the process: exactly what
+  // a wedged worker looks like. The lease must expire, the supervisor must
+  // SIGKILL the stopped pid, and the respawn must serve again.
+  ::kill(static_cast<pid_t>(first_pid), SIGSTOP);
+
+  ASSERT_TRUE(wait_until(
+      [&] { return replica.ready() && replica.pid() != first_pid; }, 30s));
+  EXPECT_GE(replica.stats().lease_expiries, 1);
+  EXPECT_EQ(deaths.load(), 1);
+
+  const Request request = request_for(2);
+  auto ticket = replica.submit(request);
+  ASSERT_TRUE(ticket->wait_for(kWait));
+  ASSERT_EQ(ticket->wait().state, RequestState::kCompleted)
+      << ticket->wait().message;
+  EXPECT_EQ(ticket->wait().tokens, reference_tokens(model, request));
+  replica.shutdown();
+}
+
+TEST(RemoteReplicaFork, SwapModelDrainsAndServesNewWeights) {
+  TempDir tmp;
+  const nn::TransformerLM v1{tiny_config(), 904};
+  const nn::TransformerLM v2{tiny_config(), 905};
+  const std::string path_v1 = (tmp.path() / "v1.bin").string();
+  const std::string path_v2 = (tmp.path() / "v2.bin").string();
+  v1.save(path_v1);
+  v2.save(path_v2);
+
+  std::atomic<int> deaths{0};
+  RemoteReplica replica{"full", path_v1, fork_config(),
+                        [&](const std::string&) { ++deaths; }};
+  ASSERT_TRUE(wait_until([&] { return replica.ready(); }, 30s));
+
+  const Request request = request_for(3);
+  {
+    auto ticket = replica.submit(request);
+    ASSERT_TRUE(ticket->wait_for(kWait));
+    ASSERT_EQ(ticket->wait().state, RequestState::kCompleted);
+    EXPECT_EQ(ticket->wait().tokens, reference_tokens(v1, request));
+  }
+
+  ASSERT_TRUE(replica.swap_model(path_v2, 30'000));
+  EXPECT_GE(replica.restarts(), 1);
+  EXPECT_GE(replica.stats().swaps, 1);
+  // A drain is an intentional death: the breaker callback must NOT fire.
+  EXPECT_EQ(deaths.load(), 0);
+
+  {
+    auto ticket = replica.submit(request);
+    ASSERT_TRUE(ticket->wait_for(kWait));
+    ASSERT_EQ(ticket->wait().state, RequestState::kCompleted)
+        << ticket->wait().message;
+    EXPECT_EQ(ticket->wait().tokens, reference_tokens(v2, request))
+        << "post-swap decode still matches the old weights";
+  }
+  replica.shutdown();
+}
+
+TEST(RemoteRouterFork, KilledWorkerFailsOverAndProbesBack) {
+  TempDir tmp;
+  const nn::TransformerLM full{tiny_config(), 906};
+  const nn::TransformerLM p1 = full.pruned(2, 1);
+  const std::string path_full = (tmp.path() / "full.bin").string();
+  const std::string path_p1 = (tmp.path() / "p1.bin").string();
+  full.save(path_full);
+  p1.save(path_p1);
+
+  RouterConfig config;
+  config.poll_ms = 1;
+  config.reroute_wait_ms = 2;
+  config.breaker.open_after = 2;
+  config.breaker.cooldown_ms = 100;
+  config.cross_process = true;
+  config.remote = fork_config();
+
+  std::vector<VariantSpec> variants;
+  variants.push_back({"full", {}, 0.9, path_full, 2});
+  variants.push_back({"p1", {}, 0.6, path_p1, 1});
+  VariantRouter router{std::move(variants), config};
+
+  auto snapshot_of = [&](const std::string& name) {
+    for (const auto& snap : router.replicas())
+      if (snap.name == name) return snap;
+    ADD_FAILURE() << "no replica named " << name;
+    return serve::ReplicaSnapshot{};
+  };
+  ASSERT_TRUE(wait_until(
+      [&] {
+        return snapshot_of("full").pid > 1 && snapshot_of("p1").pid > 1;
+      },
+      30s));
+  const std::int64_t full_pid = snapshot_of("full").pid;
+
+  ::kill(static_cast<pid_t>(full_pid), SIGKILL);
+
+  // Every request submitted across the crash must still complete — on the
+  // sibling while 'full' is down — and the output must match whichever
+  // variant served it bit-for-bit.
+  std::vector<serve::RouteTicketPtr> tickets;
+  for (std::uint64_t salt = 0; salt < 12; ++salt) {
+    RouteRequest route;
+    route.request = request_for(salt);
+    tickets.push_back(router.submit(route));
+    std::this_thread::sleep_for(10ms);
+  }
+  for (std::uint64_t salt = 0; salt < tickets.size(); ++salt) {
+    ASSERT_TRUE(tickets[salt]->wait_for(kWait)) << "request " << salt;
+    const serve::RouteResponse& routed = tickets[salt]->wait();
+    ASSERT_EQ(routed.response.state, RequestState::kCompleted)
+        << "request " << salt << ": " << routed.response.message;
+    const nn::TransformerLM& served = routed.variant == "full" ? full : p1;
+    EXPECT_EQ(routed.response.tokens,
+              reference_tokens(served, request_for(salt)));
+  }
+
+  // The crash quarantined 'full' (breaker opened via the process-death
+  // callback), the supervisor respawned it, and a half-open probe readmitted
+  // it to healthy with a fresh pid.
+  ASSERT_TRUE(wait_until(
+      [&] {
+        const auto snap = snapshot_of("full");
+        return snap.health == serve::HealthState::kHealthy &&
+               snap.pid > 1 && snap.pid != full_pid;
+      },
+      30s));
+  EXPECT_GE(snapshot_of("full").restarts, 1);
+  EXPECT_GE(snapshot_of("full").stats.breaker_opens, 1);
+
+  router.shutdown();
+}
+
+}  // namespace
+}  // namespace sdd
+
+#endif  // !SDD_TSAN

@@ -199,8 +199,8 @@ RouterConfig test_router_config() {
 std::vector<VariantSpec> two_variants(std::uint64_t seed) {
   const nn::TransformerLM full{tiny_config(), seed};
   std::vector<VariantSpec> variants;
-  variants.push_back({"full", full.clone(), 0.9});
-  variants.push_back({"p1", full.pruned(2, 1), 0.6});
+  variants.push_back({"full", full.clone(), 0.9, "", 0});
+  variants.push_back({"p1", full.pruned(2, 1), 0.6, "", 0});
   return variants;
 }
 
@@ -346,7 +346,7 @@ TEST(Router, SingleDeadVariantExhaustsFailoverTyped) {
 
   const nn::TransformerLM full{tiny_config(), 65};
   std::vector<VariantSpec> variants;
-  variants.push_back({"full", full.clone(), 0.9});
+  variants.push_back({"full", full.clone(), 0.9, "", 0});
   RouterConfig config = test_router_config();
   config.failover_max = 2;
   VariantRouter router{std::move(variants), config};

@@ -434,8 +434,8 @@ TEST(SpecRouter, DraftPairingKeepsRoutedOutputsBitIdentical) {
   config.spec_draft = "p2";
   config.server.spec_k = 4;
   std::vector<serve::VariantSpec> variants;
-  variants.push_back({"full", full.clone(), 0.9});
-  variants.push_back({"p2", full.pruned(1, 2), 0.55});
+  variants.push_back({"full", full.clone(), 0.9, "", 0});
+  variants.push_back({"p2", full.pruned(1, 2), 0.55, "", 0});
   serve::VariantRouter router{std::move(variants), config};
 
   std::vector<serve::RouteTicketPtr> tickets;
@@ -475,7 +475,7 @@ TEST(SpecRouter, UnknownDraftVariantFailsLoudly) {
   config.spec_draft = "nope";
   config.server.spec_k = 4;
   std::vector<serve::VariantSpec> variants;
-  variants.push_back({"full", full.clone(), 0.9});
+  variants.push_back({"full", full.clone(), 0.9, "", 0});
   EXPECT_THROW(serve::VariantRouter(std::move(variants), config), Error);
 }
 
